@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the exact searches on small instances: CP with and
+//! without the derived constraints (the Table 5/6 effect at micro scale),
+//! A*, and the MIP-style branch-and-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idd_solver::exact::{AStarConfig, AStarSolver, CpConfig, CpSolver, MipConfig, MipSolver};
+use idd_solver::prelude::*;
+use idd_workloads::{SyntheticConfig, SyntheticGenerator};
+
+fn small_instance(num_indexes: usize, seed: u64) -> idd_core::ProblemInstance {
+    SyntheticGenerator::new(SyntheticConfig {
+        num_indexes,
+        num_queries: num_indexes,
+        plans_per_query: 3,
+        max_plan_width: 3,
+        seed,
+        ..SyntheticConfig::default()
+    })
+    .generate()
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_search");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [7usize, 9] {
+        let instance = small_instance(n, 11);
+        group.bench_with_input(BenchmarkId::new("cp_plain", n), &instance, |b, inst| {
+            b.iter(|| {
+                CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited()))
+                    .solve(std::hint::black_box(inst))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cp_plus", n), &instance, |b, inst| {
+            b.iter(|| {
+                CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
+                    .solve(std::hint::black_box(inst))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("astar", n), &instance, |b, inst| {
+            b.iter(|| {
+                AStarSolver::with_config(AStarConfig {
+                    budget: SearchBudget::unlimited(),
+                    ..AStarConfig::default()
+                })
+                .solve(std::hint::black_box(inst))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mip", n), &instance, |b, inst| {
+            b.iter(|| {
+                MipSolver::with_config(MipConfig {
+                    budget: SearchBudget::unlimited(),
+                    ..MipConfig::default()
+                })
+                .solve(std::hint::black_box(inst))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of objective evaluation: full re-evaluation vs. the
+//! incremental prefix evaluator used by local search (an ablation of the
+//! design choice that makes swap neighbourhoods affordable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idd_core::{Deployment, ObjectiveEvaluator, PrefixEvaluator};
+use idd_workloads::{SyntheticConfig, SyntheticGenerator};
+
+fn bench_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective");
+    for (label, config) in [
+        ("tpch-scale", SyntheticConfig::medium(1)),
+        ("tpcds-scale", SyntheticConfig::large(1)),
+    ] {
+        let instance = SyntheticGenerator::new(config).generate();
+        let n = instance.num_indexes();
+        let deployment = Deployment::identity(n);
+        let evaluator = ObjectiveEvaluator::new(&instance);
+
+        group.bench_with_input(
+            BenchmarkId::new("full_evaluate", label),
+            &deployment,
+            |b, d| b.iter(|| evaluator.evaluate_area(std::hint::black_box(d))),
+        );
+
+        let prefix = PrefixEvaluator::new(&instance, deployment.clone());
+        group.bench_with_input(
+            BenchmarkId::new("incremental_swap_late", label),
+            &(n - 2, n - 1),
+            |b, &(x, y)| b.iter(|| prefix.evaluate_swap(std::hint::black_box(x), y)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_swap_early", label),
+            &(0usize, 1usize),
+            |b, &(x, y)| b.iter(|| prefix.evaluate_swap(std::hint::black_box(x), y)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_objective);
+criterion_main!(benches);

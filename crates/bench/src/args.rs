@@ -1,0 +1,105 @@
+//! Minimal command-line argument handling shared by the harness binaries.
+
+/// Common harness options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Per-solver (or per-cell) wall-clock limit in seconds.
+    pub time_limit: f64,
+    /// Number of repeated runs to average (figures).
+    pub runs: usize,
+    /// Output horizon scale for figures (fraction of `time_limit` sampled).
+    pub samples: usize,
+    /// Random seed base.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            time_limit: 10.0,
+            runs: 3,
+            samples: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--time-limit`, `--runs`, `--samples` and `--seed` from an
+    /// iterator of arguments (unknown arguments are ignored so binaries can
+    /// add their own).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I, defaults: HarnessArgs) -> Self {
+        let mut out = defaults;
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut take = |target: &mut f64| {
+                if let Some(v) = iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                    *target = v;
+                }
+            };
+            match arg.as_str() {
+                "--time-limit" => take(&mut out.time_limit),
+                "--runs" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                        out.runs = v.max(1);
+                    }
+                }
+                "--samples" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                        out.samples = v.max(2);
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                        out.seed = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments.
+    pub fn parse(defaults: HarnessArgs) -> Self {
+        Self::parse_from(std::env::args().skip(1), defaults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let args = HarnessArgs::parse_from(
+            strs(&["--time-limit", "2.5", "--runs", "5", "--seed", "7"]),
+            HarnessArgs::default(),
+        );
+        assert_eq!(args.time_limit, 2.5);
+        assert_eq!(args.runs, 5);
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn ignores_unknown_flags_and_bad_values() {
+        let args = HarnessArgs::parse_from(
+            strs(&["--whatever", "x", "--runs", "not-a-number"]),
+            HarnessArgs::default(),
+        );
+        assert_eq!(args.runs, HarnessArgs::default().runs);
+        assert_eq!(args.time_limit, HarnessArgs::default().time_limit);
+    }
+
+    #[test]
+    fn clamps_degenerate_values() {
+        let args =
+            HarnessArgs::parse_from(strs(&["--runs", "0", "--samples", "1"]), HarnessArgs::default());
+        assert_eq!(args.runs, 1);
+        assert_eq!(args.samples, 2);
+    }
+}

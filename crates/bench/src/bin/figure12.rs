@@ -1,0 +1,27 @@
+//! Figure 12 — local-search anytime behaviour on TPC-DS.
+//!
+//! Same setup as Figure 11 but on the 148-index TPC-DS instance and without
+//! plain LNS (the paper drops it there). The paper's findings: VNS is best at
+//! every point in time; TS-FSwap follows; TS-BSwap improves a lot per
+//! iteration but each iteration takes extremely long (≈50 minutes in the
+//! paper, since it evaluates all C(148,2) swaps); CP stays stuck near the
+//! greedy start. Default time limit is 30 s (paper: 2 hours), `--time-limit`
+//! to change.
+
+use idd_bench::figures::run_figure;
+use idd_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse(HarnessArgs {
+        time_limit: 30.0,
+        runs: 3,
+        ..HarnessArgs::default()
+    });
+    let tpcds = idd_bench::tpcds();
+    run_figure(
+        "Figure 12: local search on TPC-DS (paper: 2h, 3-run average)",
+        &tpcds,
+        &["vns", "ts-bswap", "ts-fswap", "cp"],
+        &args,
+    );
+}

@@ -1,0 +1,74 @@
+//! Table 4 — experimental dataset statistics, paper vs. measured, plus the
+//! introduction's claims about build-interaction savings (up to ~80% per
+//! index, ~20% of the whole deployment).
+
+use idd_bench::Table;
+use idd_core::InstanceStats;
+use idd_workloads::{CalibrationReport, PaperTargets};
+
+fn main() {
+    println!("== Table 4: experimental datasets (paper vs. measured) ==\n");
+
+    let datasets = [
+        ("TPC-H", idd_bench::tpch(), PaperTargets::tpch()),
+        ("TPC-DS", idd_bench::tpcds(), PaperTargets::tpcds()),
+    ];
+
+    let mut table = Table::new(vec![
+        "Dataset", "source", "|Q|", "|I|", "|P|", "LargestPlan", "#Inter.(Build)", "#Inter.(Query)",
+    ]);
+    for (name, instance, target) in &datasets {
+        table.row(vec![
+            name.to_string(),
+            "paper".to_string(),
+            target.num_queries.to_string(),
+            target.num_indexes.to_string(),
+            target.num_plans.to_string(),
+            format!("{} Index", target.largest_plan),
+            target.num_build_interactions.to_string(),
+            target.num_query_interactions.to_string(),
+        ]);
+        let stats = InstanceStats::of(instance);
+        table.row(vec![
+            name.to_string(),
+            "measured".to_string(),
+            stats.num_queries.to_string(),
+            stats.num_indexes.to_string(),
+            stats.num_plans.to_string(),
+            format!("{} Index", stats.largest_plan),
+            stats.num_build_interactions.to_string(),
+            stats.num_query_interactions.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("== Calibration bands ==\n");
+    for (name, instance, target) in &datasets {
+        let report = CalibrationReport::compare(instance, *target);
+        println!(
+            "{name}: {}",
+            if report.within_band {
+                "within the accepted bands"
+            } else {
+                "OUTSIDE the accepted bands"
+            }
+        );
+        println!("{}", report.render());
+    }
+
+    println!("== Build-interaction savings (intro claims) ==\n");
+    let mut savings = Table::new(vec![
+        "Dataset",
+        "max per-index saving (paper: up to ~80%)",
+        "whole-deployment saving (paper: up to ~20%)",
+    ]);
+    for (name, instance, _) in &datasets {
+        let stats = InstanceStats::of(instance);
+        savings.row(vec![
+            name.to_string(),
+            format!("{:.0}%", stats.max_build_saving_ratio * 100.0),
+            format!("{:.0}%", stats.max_total_deployment_saving_ratio * 100.0),
+        ]);
+    }
+    println!("{}", savings.render());
+}

@@ -1,0 +1,159 @@
+//! Table 5 — exact search on reduced TPC-H instances.
+//!
+//! The paper varies the number of indexes (6–31) and the interaction density
+//! (low / mid) and reports the minutes each method needs to find and prove
+//! the optimum: MIP and CP without the problem-specific constraints, MIP+
+//! and CP+ with them, and VNS (which finds the same solutions quickly but
+//! offers no proof). "DF" means the method did not finish within the limit
+//! (or ran out of memory).
+//!
+//! Wall-clock limits are scaled down (default 5 s per cell, `--time-limit`
+//! to change); the qualitative shape — plain MIP/CP die early, the
+//! additional constraints push the frontier far out, VNS is instant — is what
+//! the harness verifies.
+
+use idd_bench::{minutes_label, HarnessArgs, Table};
+use idd_core::{reduce, Density, ProblemInstance, ReduceOptions};
+use idd_solver::exact::{CpConfig, CpSolver, MipConfig, MipSolver};
+use idd_solver::local::VnsSolver;
+use idd_solver::prelude::*;
+use idd_solver::properties::{analyze, AnalysisOptions};
+
+struct Cell {
+    label: String,
+    objective: f64,
+}
+
+fn run_mip(instance: &ProblemInstance, budget: SearchBudget, with_constraints: bool) -> Cell {
+    // The MIP formulation can only take the derived constraints as extra
+    // precedence rows; we emulate "MIP+" by seeding its constraint set.
+    let solver = MipSolver::with_config(MipConfig {
+        budget,
+        ..MipConfig::default()
+    });
+    let result = if with_constraints {
+        // Re-solve on an instance whose hard precedences carry the derived
+        // constraints (the closest analogue of adding rows to the model).
+        let analysis = analyze(instance, AnalysisOptions::all());
+        let mut builder = instance.to_builder();
+        for a in instance.index_ids() {
+            for b in instance.index_ids() {
+                if a != b && analysis.constraints.must_precede(a, b) {
+                    builder.add_precedence(a, b);
+                }
+            }
+        }
+        match builder.build() {
+            Ok(augmented) => solver.solve(&augmented),
+            Err(_) => solver.solve(instance),
+        }
+    } else {
+        solver.solve(instance)
+    };
+    Cell {
+        label: minutes_label(result.elapsed_seconds, result.is_optimal()),
+        objective: result.objective,
+    }
+}
+
+fn run_cp(instance: &ProblemInstance, budget: SearchBudget, with_constraints: bool) -> Cell {
+    let config = if with_constraints {
+        CpConfig::with_properties(budget)
+    } else {
+        CpConfig::plain(budget)
+    };
+    let result = CpSolver::with_config(config).solve(instance);
+    Cell {
+        label: minutes_label(result.elapsed_seconds, result.is_optimal()),
+        objective: result.objective,
+    }
+}
+
+fn run_vns(instance: &ProblemInstance, budget: SearchBudget) -> Cell {
+    let initial = GreedySolver::new().construct(instance);
+    let result = VnsSolver::new(budget).solve(instance, initial);
+    Cell {
+        label: format!("{} (no proof)", minutes_label(result.elapsed_seconds, true)),
+        objective: result.objective,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse(HarnessArgs {
+        time_limit: 5.0,
+        ..HarnessArgs::default()
+    });
+    println!("== Table 5: exact search on reduced TPC-H (per-cell limit {}s) ==", args.time_limit);
+    println!("Paper: times in minutes with a 12-hour limit; ours are scaled down.");
+    println!("The comparison of interest is which cells finish (vs DF) and how the frontier moves.\n");
+
+    let tpch = idd_bench::tpch();
+    let configurations: Vec<(usize, Density)> = vec![
+        (6, Density::Low),
+        (11, Density::Low),
+        (13, Density::Low),
+        (22, Density::Low),
+        (31, Density::Low),
+        (16, Density::Mid),
+        (21, Density::Mid),
+    ];
+
+    let mut table = Table::new(vec!["|I|", "Density", "MIP", "CP", "MIP+", "CP+", "VNS"]);
+    let mut objective_notes: Vec<String> = Vec::new();
+
+    for (k, density) in configurations {
+        let reduced = reduce(
+            &tpch,
+            ReduceOptions {
+                density,
+                max_indexes: Some(k),
+            },
+        )
+        .expect("reduction failed");
+        let budget = SearchBudget::seconds(args.time_limit);
+
+        let mip = run_mip(&reduced, budget, false);
+        let cp = run_cp(&reduced, budget, false);
+        let mip_plus = run_mip(&reduced, budget, true);
+        let cp_plus = run_cp(&reduced, budget, true);
+        let vns = run_vns(&reduced, SearchBudget::seconds(args.time_limit.min(2.0)));
+
+        // Sanity note: when both CP variants prove optimality they must agree,
+        // and VNS should reach the same objective.
+        if cp.label != "DF" && cp_plus.label != "DF" {
+            let agree = (cp.objective - cp_plus.objective).abs() < 1e-6;
+            objective_notes.push(format!(
+                "|I|={k} {density}: CP and CP+ optima {} (obj {:.2})",
+                if agree { "agree" } else { "DISAGREE" },
+                cp_plus.objective
+            ));
+            if (vns.objective - cp_plus.objective).abs() / cp_plus.objective < 1e-6 {
+                objective_notes.push(format!("|I|={k} {density}: VNS found the proven optimum"));
+            }
+        }
+
+        table.row(vec![
+            k.to_string(),
+            density.to_string(),
+            mip.label,
+            cp.label,
+            mip_plus.label,
+            cp_plus.label,
+            vns.label,
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("Notes:");
+    for note in objective_notes {
+        println!("  - {note}");
+    }
+
+    // The paper also reports that the discretized MIP needs >1M variables on
+    // large instances.
+    let size = MipSolver::new().model_size(&tpch);
+    println!(
+        "\nMIP model size on full TPC-H: {} timesteps, {} variables, {} constraints",
+        size.timesteps, size.variables, size.constraints
+    );
+}

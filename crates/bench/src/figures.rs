@@ -1,0 +1,143 @@
+//! Shared driver for the anytime-curve figures (Figures 11 and 12).
+
+use crate::{HarnessArgs, Table};
+use idd_core::{Deployment, ObjectiveEvaluator, ProblemInstance};
+use idd_solver::exact::{CpConfig, CpSolver};
+use idd_solver::local::{
+    LnsConfig, LnsSolver, SwapStrategy, TabuConfig, TabuSolver, VnsConfig, VnsSolver,
+};
+use idd_solver::prelude::*;
+use idd_solver::properties::AnalysisOptions;
+
+/// Normalizes an objective area to the 0–100 scale used by the reports.
+pub fn normalized(instance: &ProblemInstance, area: f64) -> f64 {
+    100.0 * area / (instance.baseline_runtime() * instance.total_base_build_cost())
+}
+
+/// Runs one local-search / CP method once and returns its incumbent
+/// trajectory. Valid method names: `"vns"`, `"lns"`, `"ts-bswap"`,
+/// `"ts-fswap"`, `"cp"`.
+pub fn run_method(
+    method: &str,
+    instance: &ProblemInstance,
+    initial: &Deployment,
+    time_limit: f64,
+    seed: u64,
+) -> Trajectory {
+    let budget = SearchBudget::seconds(time_limit);
+    match method {
+        "vns" => {
+            VnsSolver::with_config(VnsConfig {
+                budget,
+                seed,
+                ..VnsConfig::default()
+            })
+            .solve(instance, initial.clone())
+            .trajectory
+        }
+        "lns" => {
+            LnsSolver::with_config(LnsConfig {
+                budget,
+                seed,
+                ..LnsConfig::default()
+            })
+            .solve(instance, initial.clone())
+            .trajectory
+        }
+        "ts-bswap" => {
+            TabuSolver::with_config(TabuConfig {
+                strategy: SwapStrategy::Best,
+                budget,
+                seed,
+                ..TabuConfig::default()
+            })
+            .solve(instance, initial.clone())
+            .trajectory
+        }
+        "ts-fswap" => {
+            TabuSolver::with_config(TabuConfig {
+                strategy: SwapStrategy::First,
+                budget,
+                seed,
+                ..TabuConfig::default()
+            })
+            .solve(instance, initial.clone())
+            .trajectory
+        }
+        "cp" => {
+            CpSolver::with_config(CpConfig {
+                budget,
+                analysis: AnalysisOptions::all(),
+                initial: Some(initial.clone()),
+            })
+            .solve(instance)
+            .trajectory
+        }
+        other => panic!("unknown method {other}"),
+    }
+}
+
+/// Runs every method `args.runs` times from the same greedy start, averages
+/// the trajectories and prints the final-value summary plus a CSV series.
+pub fn run_figure(title: &str, instance: &ProblemInstance, methods: &[&str], args: &HarnessArgs) {
+    let evaluator = ObjectiveEvaluator::new(instance);
+    let initial = GreedySolver::new().construct(instance);
+    let initial_norm = normalized(instance, evaluator.evaluate_area(&initial));
+    println!(
+        "== {title} (runs {}, time limit {}s, greedy start = {:.2}) ==\n",
+        args.runs, args.time_limit, initial_norm
+    );
+
+    let mut series = Table::new(
+        std::iter::once("elapsed_seconds".to_string())
+            .chain(methods.iter().map(|m| m.to_string()))
+            .collect::<Vec<String>>(),
+    );
+    let mut finals = Table::new(vec![
+        "method",
+        "final objective (normalized)",
+        "improvement over greedy",
+    ]);
+
+    let mut averaged: Vec<Vec<TrajectoryPoint>> = Vec::new();
+    for method in methods {
+        let trajectories: Vec<Trajectory> = (0..args.runs)
+            .map(|r| {
+                run_method(
+                    method,
+                    instance,
+                    &initial,
+                    args.time_limit,
+                    args.seed + r as u64,
+                )
+            })
+            .collect();
+        let avg = Trajectory::average(&trajectories, args.time_limit, args.samples);
+        let final_area = avg.last().map(|p| p.objective).unwrap_or(f64::INFINITY);
+        let final_norm = normalized(instance, final_area);
+        finals.row(vec![
+            method.to_string(),
+            format!("{final_norm:.2}"),
+            format!("{:.2}%", 100.0 * (initial_norm - final_norm) / initial_norm),
+        ]);
+        averaged.push(avg);
+    }
+
+    for s in 0..args.samples {
+        let elapsed = averaged[0][s].elapsed_seconds;
+        let mut row = vec![format!("{elapsed:.2}")];
+        for series_points in &averaged {
+            let v = series_points[s].objective;
+            row.push(if v.is_finite() {
+                format!("{:.3}", normalized(instance, v))
+            } else {
+                String::new()
+            });
+        }
+        series.row(row);
+    }
+
+    println!("{}", finals.render());
+    println!("Series (normalized objective; CSV for plotting):\n");
+    println!("{}", series.to_csv());
+}

@@ -1,0 +1,67 @@
+//! # idd-bench — experiment harness
+//!
+//! One binary per table / figure of the paper's evaluation (Section 8):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table4` | Table 4 — dataset statistics, plus the intro's build-interaction savings |
+//! | `table5` | Table 5 — exact search (MIP / CP / MIP+ / CP+ / VNS) on reduced TPC-H |
+//! | `table6` | Table 6 — pruning-power drill-down (+A, +AC, +ACM, +ACMD, +ACMDT) |
+//! | `table7` | Table 7 — greedy vs DP vs random initial solutions |
+//! | `figure11` | Figure 11 — local-search anytime curves on TPC-H |
+//! | `figure12` | Figure 12 — local-search anytime curves on TPC-DS |
+//! | `figure13` | Figure 13 — VNS deployment time & average query runtime over time |
+//!
+//! Each binary prints a self-contained report (markdown-ish tables) and
+//! accepts `--time-limit <seconds>`, `--runs <n>` and `--scale <fraction>`
+//! where meaningful, so the whole suite finishes in minutes on a laptop
+//! rather than the paper's hours. The Criterion benches in `benches/` cover
+//! the micro-level costs (objective evaluation, greedy/DP construction,
+//! property analysis, CP nodes).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod figures;
+pub mod report;
+
+pub use args::HarnessArgs;
+pub use report::Table;
+
+use idd_core::ProblemInstance;
+
+/// Builds the TPC-H-like instance used throughout the harness.
+pub fn tpch() -> ProblemInstance {
+    idd_workloads::tpch_instance().expect("TPC-H-like extraction failed")
+}
+
+/// Builds the TPC-DS-like instance used throughout the harness.
+pub fn tpcds() -> ProblemInstance {
+    idd_workloads::tpcds_instance().expect("TPC-DS-like extraction failed")
+}
+
+/// Formats a duration in minutes the way the paper's tables do: `"<1"` for
+/// under a minute, the rounded number of minutes otherwise, `"DF"` for runs
+/// that did not finish.
+pub fn minutes_label(seconds: f64, finished: bool) -> String {
+    if !finished {
+        "DF".to_string()
+    } else if seconds < 60.0 {
+        "<1".to_string()
+    } else {
+        format!("{:.0}", seconds / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minutes_label_matches_paper_convention() {
+        assert_eq!(minutes_label(3.0, true), "<1");
+        assert_eq!(minutes_label(359.0, true), "6");
+        assert_eq!(minutes_label(10.0, false), "DF");
+    }
+}

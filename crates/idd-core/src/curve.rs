@@ -1,0 +1,151 @@
+//! The improvement curve: workload runtime as a function of deployment time.
+//!
+//! This is the curve of the paper's Figure 2 / Figure 4 — a step function that
+//! starts at the baseline runtime and drops each time an index finishes
+//! building. The objective is exactly the area under it over the deployment
+//! window.
+
+use crate::objective::ObjectiveValue;
+use serde::{Deserialize, Serialize};
+
+/// One point of the improvement curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Elapsed deployment time (seconds since deployment started).
+    pub elapsed: f64,
+    /// Total workload runtime at that moment.
+    pub runtime: f64,
+}
+
+/// The full improvement curve of one deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImprovementCurve {
+    points: Vec<CurvePoint>,
+}
+
+impl ImprovementCurve {
+    /// Builds the curve from an evaluated objective (requires the step trace,
+    /// i.e. a value produced by `ObjectiveEvaluator::evaluate`, not the
+    /// area-only fast path).
+    pub fn from_objective(value: &ObjectiveValue) -> Self {
+        let mut points = Vec::with_capacity(value.steps.len() * 2 + 1);
+        points.push(CurvePoint {
+            elapsed: 0.0,
+            runtime: value.baseline_runtime,
+        });
+        for step in &value.steps {
+            // Runtime stays flat while the index builds...
+            points.push(CurvePoint {
+                elapsed: step.elapsed_end,
+                runtime: step.runtime_before,
+            });
+            // ...then drops the moment it becomes available.
+            points.push(CurvePoint {
+                elapsed: step.elapsed_end,
+                runtime: step.runtime_after,
+            });
+        }
+        Self { points }
+    }
+
+    /// The curve's points, in increasing elapsed time.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Workload runtime at an arbitrary moment of the deployment.
+    pub fn runtime_at(&self, elapsed: f64) -> f64 {
+        let mut current = self
+            .points
+            .first()
+            .map(|p| p.runtime)
+            .unwrap_or(0.0);
+        for p in &self.points {
+            if p.elapsed <= elapsed {
+                current = p.runtime;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Area under the curve between `0` and the end of deployment, computed
+    /// from the points. Matches `ObjectiveValue::area` up to floating-point
+    /// rounding and is used as a cross-check in tests.
+    pub fn area(&self) -> f64 {
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].elapsed - w[0].elapsed;
+            if dt > 0.0 {
+                area += dt * w[0].runtime;
+            }
+        }
+        area
+    }
+
+    /// Renders the curve as `elapsed,runtime` CSV lines (with header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("elapsed,runtime\n");
+        for p in &self.points {
+            out.push_str(&format!("{:.6},{:.6}\n", p.elapsed, p.runtime));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ProblemInstance;
+    use crate::objective::ObjectiveEvaluator;
+    use crate::solution::Deployment;
+
+    fn example() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("curve");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(6.0);
+        let q = b.add_query(30.0);
+        b.add_plan(q, vec![i0], 5.0);
+        b.add_plan(q, vec![i1], 20.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn curve_area_matches_objective_area() {
+        let inst = example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        for order in [[0, 1], [1, 0]] {
+            let v = eval.evaluate(&Deployment::from_raw(order));
+            let curve = ImprovementCurve::from_objective(&v);
+            assert!((curve.area() - v.area).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn runtime_at_steps_down_after_each_build() {
+        let inst = example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([0, 1]));
+        let curve = ImprovementCurve::from_objective(&v);
+        assert_eq!(curve.runtime_at(0.0), 30.0);
+        assert_eq!(curve.runtime_at(3.9), 30.0);
+        assert_eq!(curve.runtime_at(4.0), 25.0);
+        // The second index has no build interaction here, so it finishes at
+        // elapsed 10; the runtime is still 25 just before that.
+        assert_eq!(curve.runtime_at(9.9), 25.0);
+        assert_eq!(curve.runtime_at(10.0), 10.0);
+        assert_eq!(curve.runtime_at(100.0), 10.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let inst = example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([0, 1]));
+        let curve = ImprovementCurve::from_objective(&v);
+        let csv = curve.to_csv();
+        assert!(csv.starts_with("elapsed,runtime\n"));
+        assert_eq!(csv.lines().count(), curve.points().len() + 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Build interactions and precedence constraints between indexes.
+
+use crate::types::IndexId;
+use serde::{Deserialize, Serialize};
+
+/// A *build interaction*: building [`BuildInteraction::target`] is
+/// [`BuildInteraction::speedup`] seconds cheaper when
+/// [`BuildInteraction::helper`] already exists (e.g. the narrow index
+/// `i1(City)` can be built by scanning the existing wide index
+/// `i2(City, Salary)` instead of the base table).
+///
+/// Following the paper's constraint (5), interactions are pair-wise and only
+/// the *best* available helper counts:
+/// `C_{T_i} = ctime(i) − max_{j: T_j < T_i} cspdup(i, j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildInteraction {
+    /// The index whose creation becomes cheaper.
+    pub target: IndexId,
+    /// The index that must already exist for the saving to apply.
+    pub helper: IndexId,
+    /// `cspdup(target, helper)`: seconds saved off `ctime(target)`.
+    pub speedup: f64,
+}
+
+impl BuildInteraction {
+    /// Creates a build interaction.
+    pub fn new(target: IndexId, helper: IndexId, speedup: f64) -> Self {
+        Self {
+            target,
+            helper,
+            speedup,
+        }
+    }
+}
+
+/// A hard precedence constraint: [`Precedence::before`] must be deployed
+/// before [`Precedence::after`].
+///
+/// The paper's examples are (a) the clustered index of a materialized view
+/// must precede the view's secondary indexes, and (b) a correlation-exploiting
+/// secondary index requires its clustered index first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Precedence {
+    /// The index that must be built first.
+    pub before: IndexId,
+    /// The index that can only be built afterwards.
+    pub after: IndexId,
+}
+
+impl Precedence {
+    /// Creates a precedence constraint `before ≺ after`.
+    pub fn new(before: IndexId, after: IndexId) -> Self {
+        Self { before, after }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_interaction_round_trips_through_serde() {
+        let b = BuildInteraction::new(IndexId::new(1), IndexId::new(2), 4.0);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BuildInteraction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn precedence_is_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Precedence::new(IndexId::new(0), IndexId::new(1)));
+        set.insert(Precedence::new(IndexId::new(0), IndexId::new(1)));
+        set.insert(Precedence::new(IndexId::new(1), IndexId::new(0)));
+        assert_eq!(set.len(), 2);
+    }
+}

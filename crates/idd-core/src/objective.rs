@@ -1,0 +1,591 @@
+//! Objective evaluation: the area under the improvement curve.
+//!
+//! The objective of the paper (Section 4.1) is
+//!
+//! ```text
+//! minimize  Σ_i  R_{i-1} · C_i
+//! ```
+//!
+//! where `R_{i-1}` is the total (weighted) workload runtime after the first
+//! `i-1` indexes of the deployment order have been built and `C_i` is the
+//! effective cost of building the i-th index, i.e. its base creation cost
+//! minus the best build interaction among already-built indexes.
+//!
+//! Two evaluators are provided:
+//!
+//! * [`ObjectiveEvaluator`] — evaluates a [`Deployment`] from scratch in
+//!   `O(Σ_p |p| + |Q| + |I|·avg_helpers)` time and optionally produces the
+//!   full per-step trace used by reports and Figure 13.
+//! * [`PrefixEvaluator`] — keeps per-position checkpoints of a *base* order so
+//!   that local-search moves (swaps, relocations) are evaluated by replaying
+//!   only the suffix that actually changes.
+
+use crate::instance::ProblemInstance;
+use crate::solution::Deployment;
+use crate::types::{IndexId, QueryId};
+use serde::{Deserialize, Serialize};
+
+/// Per-step metrics of a deployment, used for reports and Figure 13.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// The index built at this step.
+    pub index: IndexId,
+    /// Effective build cost of this step (after build interactions).
+    pub build_cost: f64,
+    /// Workload runtime while this index was being built (`R_{i-1}`).
+    pub runtime_before: f64,
+    /// Workload runtime once this index is available (`R_i`).
+    pub runtime_after: f64,
+    /// Deployment clock when this step started.
+    pub elapsed_start: f64,
+    /// Deployment clock when this step finished.
+    pub elapsed_end: f64,
+}
+
+/// The value of the objective for one deployment order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveValue {
+    /// `Σ R_{i-1}·C_i`: the area under the improvement curve.
+    pub area: f64,
+    /// Total deployment time `Σ C_i` (with build interactions applied).
+    pub deployment_time: f64,
+    /// Workload runtime before any index exists (`R_∅`).
+    pub baseline_runtime: f64,
+    /// Workload runtime once every index exists.
+    pub final_runtime: f64,
+    /// Sum of base creation costs (no interactions) — the denominator of
+    /// [`ObjectiveValue::normalized`] together with `baseline_runtime`.
+    pub base_build_cost: f64,
+    /// Per-step details, in deployment order. Empty when produced by the
+    /// area-only fast path.
+    pub steps: Vec<StepMetrics>,
+}
+
+impl ObjectiveValue {
+    /// The objective scaled to a 0–100 range:
+    /// `100 · area / (R_∅ · Σ ctime(i))`.
+    ///
+    /// The denominator is the "worst-case rectangle" — deploying with no
+    /// build interaction exploited and no query speed-up until the very end.
+    /// The paper's Table 7 and Figures 11/12 report objective values on a
+    /// comparable normalized scale (TPC-H ≈ 44–66, TPC-DS ≈ 60–75).
+    pub fn normalized(&self) -> f64 {
+        let denom = self.baseline_runtime * self.base_build_cost;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.area / denom
+        }
+    }
+
+    /// Average workload runtime over the deployment window, weighted by how
+    /// long each runtime level lasted (`area / deployment_time`). This is the
+    /// "Average Query Runtime" series of Figure 13 up to a `1/|Q|` factor.
+    pub fn average_runtime_during_deployment(&self) -> f64 {
+        if self.deployment_time <= 0.0 {
+            self.baseline_runtime
+        } else {
+            self.area / self.deployment_time
+        }
+    }
+}
+
+/// Mutable evaluation state rolled forward one deployment step at a time.
+#[derive(Debug, Clone)]
+struct EvalState {
+    /// Bitmap of already-built indexes, keyed by raw index id.
+    built: Vec<bool>,
+    /// For each plan, how many of its indexes are still missing.
+    missing: Vec<u32>,
+    /// For each query, the best speed-up among currently available plans.
+    best_speedup: Vec<f64>,
+    /// Current total workload runtime (`R` after the built prefix).
+    runtime: f64,
+    /// Accumulated objective area.
+    area: f64,
+    /// Accumulated deployment time.
+    elapsed: f64,
+    /// Number of indexes built so far.
+    built_count: usize,
+}
+
+impl EvalState {
+    fn initial(eval: &ObjectiveEvaluator<'_>) -> Self {
+        EvalState {
+            built: vec![false; eval.instance.num_indexes()],
+            missing: eval.plan_width.clone(),
+            best_speedup: vec![0.0; eval.instance.num_queries()],
+            runtime: eval.baseline_runtime,
+            area: 0.0,
+            elapsed: 0.0,
+            built_count: 0,
+        }
+    }
+}
+
+/// Evaluates deployment orders against one [`ProblemInstance`].
+///
+/// The evaluator borrows the instance and precomputes flat arrays (plan
+/// widths, weighted speed-ups, plan→query mapping) so the per-step work is a
+/// handful of cache-friendly vector scans.
+#[derive(Debug, Clone)]
+pub struct ObjectiveEvaluator<'a> {
+    instance: &'a ProblemInstance,
+    /// Plan width (number of indexes) per plan.
+    plan_width: Vec<u32>,
+    /// Weighted speed-up per plan.
+    plan_speedup: Vec<f64>,
+    /// Owning query (raw id) per plan.
+    plan_query: Vec<usize>,
+    /// `R_∅`.
+    baseline_runtime: f64,
+    /// `Σ ctime(i)`.
+    base_build_cost: f64,
+}
+
+impl<'a> ObjectiveEvaluator<'a> {
+    /// Creates an evaluator for the given instance.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let plan_width = instance
+            .plans()
+            .iter()
+            .map(|p| p.width() as u32)
+            .collect();
+        let plan_speedup = instance
+            .plan_ids()
+            .map(|p| instance.plan_speedup(p))
+            .collect();
+        let plan_query = instance.plans().iter().map(|p| p.query.raw()).collect();
+        Self {
+            instance,
+            plan_width,
+            plan_speedup,
+            plan_query,
+            baseline_runtime: instance.baseline_runtime(),
+            base_build_cost: instance.total_base_build_cost(),
+        }
+    }
+
+    /// The instance this evaluator is bound to.
+    pub fn instance(&self) -> &'a ProblemInstance {
+        self.instance
+    }
+
+    /// `R_∅`: total workload runtime with no candidate index built.
+    pub fn baseline_runtime(&self) -> f64 {
+        self.baseline_runtime
+    }
+
+    /// Applies one deployment step to `state`, returning the step metrics.
+    fn apply_step(&self, state: &mut EvalState, index: IndexId) -> StepMetrics {
+        let runtime_before = state.runtime;
+        let build_cost = self.instance.effective_build_cost(index, &state.built);
+        let elapsed_start = state.elapsed;
+
+        state.area += runtime_before * build_cost;
+        state.elapsed += build_cost;
+        state.built[index.raw()] = true;
+        state.built_count += 1;
+
+        // Newly available plans can only improve each query's best speed-up.
+        for &pid in self.instance.plans_using_index(index) {
+            let p = pid.raw();
+            state.missing[p] -= 1;
+            if state.missing[p] == 0 {
+                let q = self.plan_query[p];
+                let s = self.plan_speedup[p];
+                if s > state.best_speedup[q] {
+                    state.runtime -= s - state.best_speedup[q];
+                    state.best_speedup[q] = s;
+                }
+            }
+        }
+
+        StepMetrics {
+            index,
+            build_cost,
+            runtime_before,
+            runtime_after: state.runtime,
+            elapsed_start,
+            elapsed_end: state.elapsed,
+        }
+    }
+
+    /// Evaluates a deployment and returns the full per-step trace.
+    ///
+    /// The deployment is assumed to be a permutation (checked in debug
+    /// builds); call [`Deployment::validate`] first if it comes from an
+    /// untrusted source.
+    pub fn evaluate(&self, deployment: &Deployment) -> ObjectiveValue {
+        debug_assert!(deployment.validate(self.instance).is_ok());
+        let mut state = EvalState::initial(self);
+        let mut steps = Vec::with_capacity(deployment.len());
+        for (_, index) in deployment.iter() {
+            steps.push(self.apply_step(&mut state, index));
+        }
+        ObjectiveValue {
+            area: state.area,
+            deployment_time: state.elapsed,
+            baseline_runtime: self.baseline_runtime,
+            final_runtime: state.runtime,
+            base_build_cost: self.base_build_cost,
+            steps,
+        }
+    }
+
+    /// Evaluates only the objective area of a deployment (no step trace).
+    pub fn evaluate_area(&self, deployment: &Deployment) -> f64 {
+        let mut state = EvalState::initial(self);
+        for (_, index) in deployment.iter() {
+            self.apply_step(&mut state, index);
+        }
+        state.area
+    }
+
+    /// Evaluates the objective area of a *partial* prefix order (the
+    /// remaining indexes are treated as never built). Used by search
+    /// algorithms to compute lower-bound contributions of a fixed prefix.
+    pub fn evaluate_prefix_area(&self, prefix: &[IndexId]) -> f64 {
+        let mut state = EvalState::initial(self);
+        for &index in prefix {
+            self.apply_step(&mut state, index);
+        }
+        state.area
+    }
+
+    /// Total workload runtime when exactly the indexes in `built` exist.
+    pub fn runtime_with(&self, built: &[bool]) -> f64 {
+        let mut best = vec![0.0_f64; self.instance.num_queries()];
+        for (p, plan) in self.instance.plans().iter().enumerate() {
+            if plan.available_in(built) {
+                let q = self.plan_query[p];
+                if self.plan_speedup[p] > best[q] {
+                    best[q] = self.plan_speedup[p];
+                }
+            }
+        }
+        self.baseline_runtime - best.iter().sum::<f64>()
+    }
+
+    /// The speed-up a single query currently enjoys given `built`.
+    pub fn query_speedup_with(&self, query: QueryId, built: &[bool]) -> f64 {
+        let mut best = 0.0_f64;
+        for &pid in self.instance.plans_of_query(query) {
+            let plan = self.instance.plan(pid);
+            if plan.available_in(built) {
+                let s = self.plan_speedup[pid.raw()];
+                if s > best {
+                    best = s;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Incremental evaluator for local search over a *base* deployment order.
+///
+/// [`PrefixEvaluator::set_base`] records a checkpoint of the evaluation state
+/// after every position. Evaluating a move that only changes the order from
+/// position `k` onward then costs `O((n-k) · step)` instead of a full
+/// re-evaluation — the dominant saving for swap neighbourhoods where most
+/// candidate moves touch late positions.
+#[derive(Debug, Clone)]
+pub struct PrefixEvaluator<'a> {
+    evaluator: ObjectiveEvaluator<'a>,
+    base: Deployment,
+    /// `checkpoints[k]` is the state after the first `k` indexes of `base`.
+    checkpoints: Vec<EvalState>,
+}
+
+impl<'a> PrefixEvaluator<'a> {
+    /// Creates an incremental evaluator with the given base order.
+    pub fn new(instance: &'a ProblemInstance, base: Deployment) -> Self {
+        let evaluator = ObjectiveEvaluator::new(instance);
+        let mut pe = Self {
+            evaluator,
+            base: Deployment::new(Vec::new()),
+            checkpoints: Vec::new(),
+        };
+        pe.set_base(base);
+        pe
+    }
+
+    /// The underlying full evaluator.
+    pub fn evaluator(&self) -> &ObjectiveEvaluator<'a> {
+        &self.evaluator
+    }
+
+    /// The current base order.
+    pub fn base(&self) -> &Deployment {
+        &self.base
+    }
+
+    /// The objective area of the current base order.
+    pub fn base_area(&self) -> f64 {
+        self.checkpoints
+            .last()
+            .map(|s| s.area)
+            .unwrap_or(0.0)
+    }
+
+    /// Replaces the base order and rebuilds all checkpoints.
+    pub fn set_base(&mut self, base: Deployment) {
+        let n = base.len();
+        let mut checkpoints = Vec::with_capacity(n + 1);
+        let mut state = EvalState::initial(&self.evaluator);
+        checkpoints.push(state.clone());
+        for (_, index) in base.iter() {
+            self.evaluator.apply_step(&mut state, index);
+            checkpoints.push(state.clone());
+        }
+        self.base = base;
+        self.checkpoints = checkpoints;
+    }
+
+    /// Evaluates the area of `order`, reusing the checkpoint of the longest
+    /// common prefix with the base order.
+    pub fn evaluate_order(&self, order: &Deployment) -> f64 {
+        let n = self.base.len();
+        debug_assert_eq!(order.len(), n);
+        let mut common = 0;
+        while common < n && order.at(common) == self.base.at(common) {
+            common += 1;
+        }
+        let mut state = self.checkpoints[common].clone();
+        for pos in common..n {
+            self.evaluator.apply_step(&mut state, order.at(pos));
+        }
+        state.area
+    }
+
+    /// Evaluates the area of the base order with positions `a` and `b`
+    /// swapped, without materializing the swapped order.
+    pub fn evaluate_swap(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return self.base_area();
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let n = self.base.len();
+        let mut state = self.checkpoints[lo].clone();
+        for pos in lo..n {
+            let index = if pos == lo {
+                self.base.at(hi)
+            } else if pos == hi {
+                self.base.at(lo)
+            } else {
+                self.base.at(pos)
+            };
+            self.evaluator.apply_step(&mut state, index);
+        }
+        state.area
+    }
+
+    /// Applies a swap to the base order and refreshes checkpoints from the
+    /// earlier of the two positions.
+    pub fn commit_swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, _hi) = if a < b { (a, b) } else { (b, a) };
+        self.base.swap(a, b);
+        // Recompute checkpoints from `lo` onward.
+        let n = self.base.len();
+        self.checkpoints.truncate(lo + 1);
+        let mut state = self.checkpoints[lo].clone();
+        for pos in lo..n {
+            self.evaluator.apply_step(&mut state, self.base.at(pos));
+            self.checkpoints.push(state.clone());
+        }
+    }
+
+    /// Replaces the whole base order (alias of [`PrefixEvaluator::set_base`]
+    /// kept for readability at call sites that accept arbitrary moves).
+    pub fn commit_order(&mut self, order: Deployment) {
+        self.set_base(order);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Section 4.2 competing-interaction example.
+    fn competing_example() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("competing");
+        let i_city = b.add_named_index("i(City)", 4.0);
+        let i_cov = b.add_named_index("i(City,Salary)", 6.0);
+        let q = b.add_named_query("avg_salary_by_city", 30.0);
+        b.add_plan(q, vec![i_city], 5.0);
+        b.add_plan(q, vec![i_cov], 20.0);
+        b.add_build_interaction(i_city, i_cov, 3.0);
+        b.add_build_interaction(i_cov, i_city, 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hand_computed_objective_order_01() {
+        // Order i0 → i1:
+        //   step 1: R_0 = 30, C = 4  → area 120; runtime drops to 25 (5s plan)
+        //   step 2: R_1 = 25, C = 6-2 = 4 → area 100; runtime drops to 10
+        // total area = 220, deployment time 8, final runtime 10.
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([0, 1]));
+        assert!((v.area - 220.0).abs() < 1e-9);
+        assert!((v.deployment_time - 8.0).abs() < 1e-9);
+        assert!((v.final_runtime - 10.0).abs() < 1e-9);
+        assert_eq!(v.steps.len(), 2);
+        assert!((v.steps[0].build_cost - 4.0).abs() < 1e-9);
+        assert!((v.steps[1].build_cost - 4.0).abs() < 1e-9);
+        assert!((v.steps[1].runtime_before - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hand_computed_objective_order_10() {
+        // Order i1 → i0:
+        //   step 1: R_0 = 30, C = 6 → area 180; runtime drops to 10 (20s plan)
+        //   step 2: R_1 = 10, C = 4-3 = 1 → area 10; runtime stays 10
+        // total area = 190, deployment time 7.
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([1, 0]));
+        assert!((v.area - 190.0).abs() < 1e-9);
+        assert!((v.deployment_time - 7.0).abs() < 1e-9);
+        assert!((v.final_runtime - 10.0).abs() < 1e-9);
+        // The covering-index-first order is better, as the paper argues.
+        assert!(v.area < eval.evaluate_area(&Deployment::from_raw([0, 1])));
+    }
+
+    #[test]
+    fn competing_interaction_only_counts_marginal_speedup() {
+        // After i1 (20s speed-up), adding i0 must not double count the 5s.
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([1, 0]));
+        assert!((v.steps[1].runtime_before - 10.0).abs() < 1e-9);
+        assert!((v.steps[1].runtime_after - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_only_matches_full_evaluation() {
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        for order in [[0, 1], [1, 0]] {
+            let d = Deployment::from_raw(order);
+            assert_eq!(eval.evaluate(&d).area, eval.evaluate_area(&d));
+        }
+    }
+
+    #[test]
+    fn normalized_is_between_zero_and_hundred_for_sane_instances() {
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([1, 0]));
+        let norm = v.normalized();
+        assert!(norm > 0.0 && norm < 100.0, "normalized = {norm}");
+    }
+
+    #[test]
+    fn runtime_with_reports_best_available_plan() {
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        assert_eq!(eval.runtime_with(&[false, false]), 30.0);
+        assert_eq!(eval.runtime_with(&[true, false]), 25.0);
+        assert_eq!(eval.runtime_with(&[false, true]), 10.0);
+        assert_eq!(eval.runtime_with(&[true, true]), 10.0);
+        assert_eq!(
+            eval.query_speedup_with(QueryId::new(0), &[true, false]),
+            5.0
+        );
+    }
+
+    #[test]
+    fn query_interaction_requires_all_indexes() {
+        // Join query needs both i0 and i1 (paper's query-interaction example).
+        let mut b = ProblemInstance::builder("join");
+        let i0 = b.add_index(2.0);
+        let i1 = b.add_index(2.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 40.0);
+        let inst = b.build().unwrap();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([0, 1]));
+        // No speed-up until both are built: area = 50*2 + 50*2 = 200.
+        assert!((v.area - 200.0).abs() < 1e-9);
+        assert!((v.final_runtime - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_evaluator_matches_full_evaluation_on_swaps() {
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let base = Deployment::from_raw([0, 1]);
+        let pe = PrefixEvaluator::new(&inst, base.clone());
+        assert_eq!(pe.base_area(), eval.evaluate_area(&base));
+        let swapped = base.with_swap(0, 1);
+        assert_eq!(pe.evaluate_swap(0, 1), eval.evaluate_area(&swapped));
+        assert_eq!(pe.evaluate_order(&swapped), eval.evaluate_area(&swapped));
+    }
+
+    #[test]
+    fn prefix_evaluator_commit_updates_base() {
+        let inst = competing_example();
+        let mut pe = PrefixEvaluator::new(&inst, Deployment::from_raw([0, 1]));
+        let swapped_area = pe.evaluate_swap(0, 1);
+        pe.commit_swap(0, 1);
+        assert_eq!(pe.base_area(), swapped_area);
+        assert_eq!(pe.base().order()[0], IndexId::new(1));
+    }
+
+    #[test]
+    fn larger_random_instance_prefix_matches_full() {
+        use std::collections::HashSet;
+        // Deterministic pseudo-random instance without external crates.
+        let mut b = ProblemInstance::builder("rand");
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 33) as f64 / (u32::MAX as f64 / 2.0)
+        };
+        let n = 10;
+        for _ in 0..n {
+            b.add_index(1.0 + next() * 5.0);
+        }
+        for q in 0..6 {
+            let qid = b.add_query(20.0 + next() * 30.0);
+            let mut used = HashSet::new();
+            for _ in 0..3 {
+                let w = 1 + (next() * 3.0) as usize;
+                let idxs: Vec<IndexId> = (0..w)
+                    .map(|k| IndexId::new((q * 3 + k * 2 + (next() * 10.0) as usize) % n))
+                    .collect();
+                let key: Vec<usize> = {
+                    let mut v: Vec<usize> = idxs.iter().map(|i| i.raw()).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                if used.insert(key) {
+                    b.add_plan(qid, idxs, 1.0 + next() * 10.0);
+                }
+            }
+        }
+        b.add_build_interaction(IndexId::new(0), IndexId::new(1), 0.5);
+        b.add_build_interaction(IndexId::new(3), IndexId::new(2), 0.25);
+        let inst = b.build().unwrap();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let base = Deployment::identity(n);
+        let pe = PrefixEvaluator::new(&inst, base.clone());
+        for a in 0..n {
+            for bpos in (a + 1)..n {
+                let full = eval.evaluate_area(&base.with_swap(a, bpos));
+                let fast = pe.evaluate_swap(a, bpos);
+                assert!(
+                    (full - fast).abs() < 1e-9,
+                    "swap ({a},{bpos}): {full} vs {fast}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Convenience re-exports of the most commonly used core types.
+
+pub use crate::curve::{CurvePoint, ImprovementCurve};
+pub use crate::error::{CoreError, Result as CoreResult};
+pub use crate::index::IndexMeta;
+pub use crate::instance::{InstanceBuilder, ProblemInstance};
+pub use crate::interaction::{BuildInteraction, Precedence};
+pub use crate::matrix::MatrixFile;
+pub use crate::objective::{ObjectiveEvaluator, ObjectiveValue, PrefixEvaluator, StepMetrics};
+pub use crate::plan::QueryPlan;
+pub use crate::query::QueryMeta;
+pub use crate::reduce::{reduce, Density, ReduceOptions};
+pub use crate::schedule::{DeploymentSchedule, ScheduledBuild};
+pub use crate::solution::Deployment;
+pub use crate::stats::InstanceStats;
+pub use crate::types::{IndexId, PlanId, QueryId};

@@ -1,0 +1,85 @@
+//! Metadata describing a workload query.
+
+use crate::types::QueryId;
+use serde::{Deserialize, Serialize};
+
+/// One query of the analytic workload.
+///
+/// Only [`QueryMeta::original_runtime`] (`qtime(q)` in the paper) and
+/// [`QueryMeta::weight`] participate in the objective; the SQL-ish `text` is
+/// informational and lets examples and reports show *why* a set of indexes
+/// matters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryMeta {
+    /// Dense identifier of this query within its [`crate::ProblemInstance`].
+    pub id: QueryId,
+    /// Human-readable name, e.g. `"Q7"` or `"rollup_by_country"`.
+    pub name: String,
+    /// Optional description or SQL text. Informational only.
+    pub text: String,
+    /// Relative importance of the query. The paper notes that weighting a
+    /// query is equivalent to scaling its runtime; the evaluator multiplies
+    /// `original_runtime` and all plan speed-ups by this factor.
+    pub weight: f64,
+    /// `qtime(q)`: runtime (seconds) of the query before any of the candidate
+    /// indexes exist.
+    pub original_runtime: f64,
+}
+
+impl QueryMeta {
+    /// Creates a query with the given original runtime, unit weight and a
+    /// generated name.
+    pub fn simple(id: QueryId, original_runtime: f64) -> Self {
+        Self {
+            id,
+            name: format!("q{}", id.raw()),
+            text: String::new(),
+            weight: 1.0,
+            original_runtime,
+        }
+    }
+
+    /// Creates a named query with unit weight.
+    pub fn named(id: QueryId, name: impl Into<String>, original_runtime: f64) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            text: String::new(),
+            weight: 1.0,
+            original_runtime,
+        }
+    }
+
+    /// The runtime that actually enters the objective: `weight * qtime(q)`.
+    pub fn weighted_runtime(&self) -> f64 {
+        self.weight * self.original_runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_uses_unit_weight() {
+        let q = QueryMeta::simple(QueryId::new(1), 30.0);
+        assert_eq!(q.weight, 1.0);
+        assert_eq!(q.weighted_runtime(), 30.0);
+        assert_eq!(q.name, "q1");
+    }
+
+    #[test]
+    fn weight_scales_runtime() {
+        let mut q = QueryMeta::named(QueryId::new(0), "rollup", 10.0);
+        q.weight = 2.5;
+        assert_eq!(q.weighted_runtime(), 25.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = QueryMeta::named(QueryId::new(3), "Q3", 12.0);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QueryMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+    }
+}

@@ -1,0 +1,343 @@
+//! Instance reductions used by the exact-search experiments (Tables 5 and 6).
+//!
+//! The paper evaluates exact methods on *reduced* TPC-H instances: the number
+//! of indexes is varied, and the *interaction density* is lowered by dropping
+//! suboptimal plans and weak build interactions. This module reproduces those
+//! reductions:
+//!
+//! * [`Density::Low`] — "remove all suboptimal query plans and build
+//!   interactions": each query keeps only its best plan, and all build
+//!   interactions are dropped.
+//! * [`Density::Mid`] — "remove all but one suboptimal query plan and build
+//!   interactions with less than 15% effect": each query keeps its two best
+//!   plans, and a build interaction survives only if it saves at least 15% of
+//!   the target's creation cost.
+//! * [`Density::Full`] — keep everything.
+//!
+//! [`ReduceOptions::max_indexes`] additionally restricts the instance to the
+//! `k` most beneficial indexes (by accumulated plan speed-up shared across
+//! plan members), remapping identifiers densely.
+
+use crate::error::Result;
+use crate::instance::{InstanceBuilder, ProblemInstance};
+use crate::types::IndexId;
+use serde::{Deserialize, Serialize};
+
+/// Interaction density levels of the paper's exact-search experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Density {
+    /// Best plan per query only, no build interactions.
+    Low,
+    /// Two best plans per query, build interactions with ≥ 15% effect.
+    Mid,
+    /// All plans and interactions.
+    Full,
+}
+
+impl Density {
+    /// How many plans each query keeps, `None` meaning all.
+    fn plans_per_query(self) -> Option<usize> {
+        match self {
+            Density::Low => Some(1),
+            Density::Mid => Some(2),
+            Density::Full => None,
+        }
+    }
+
+    /// Minimum relative effect (`cspdup / ctime`) a build interaction must
+    /// have to survive, `None` meaning interactions are dropped entirely.
+    fn min_build_effect(self) -> Option<f64> {
+        match self {
+            Density::Low => None,
+            Density::Mid => Some(0.15),
+            Density::Full => Some(0.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Density {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Density::Low => write!(f, "low"),
+            Density::Mid => write!(f, "mid"),
+            Density::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Options controlling [`reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReduceOptions {
+    /// Interaction density to keep.
+    pub density: Density,
+    /// If set, keep only the `k` most beneficial indexes.
+    pub max_indexes: Option<usize>,
+}
+
+impl ReduceOptions {
+    /// Full density, all indexes (the identity reduction).
+    pub fn full() -> Self {
+        Self {
+            density: Density::Full,
+            max_indexes: None,
+        }
+    }
+
+    /// Low density with at most `k` indexes — the configuration of most
+    /// Table 5 / Table 6 columns.
+    pub fn low(k: usize) -> Self {
+        Self {
+            density: Density::Low,
+            max_indexes: Some(k),
+        }
+    }
+
+    /// Mid density with at most `k` indexes.
+    pub fn mid(k: usize) -> Self {
+        Self {
+            density: Density::Mid,
+            max_indexes: Some(k),
+        }
+    }
+}
+
+/// Scores each index by its share of the speed-ups of the plans it appears in
+/// (a plan's speed-up is split evenly among its members). Used to pick the
+/// "most beneficial" subset when `max_indexes` is set.
+fn index_benefit_scores(instance: &ProblemInstance) -> Vec<f64> {
+    let mut scores = vec![0.0_f64; instance.num_indexes()];
+    for plan in instance.plans() {
+        if plan.indexes.is_empty() {
+            continue;
+        }
+        let share = instance.plan_speedup(plan.id) / plan.indexes.len() as f64;
+        for &i in &plan.indexes {
+            scores[i.raw()] += share;
+        }
+    }
+    scores
+}
+
+/// Produces a reduced copy of `instance` according to `options`.
+///
+/// Plans that reference dropped indexes are removed; queries always survive
+/// (a query with no remaining plan simply never speeds up). Precedence
+/// constraints between surviving indexes are preserved.
+pub fn reduce(instance: &ProblemInstance, options: ReduceOptions) -> Result<ProblemInstance> {
+    // 1. Choose the surviving index set.
+    let keep: Vec<bool> = match options.max_indexes {
+        Some(k) if k < instance.num_indexes() => {
+            let scores = index_benefit_scores(instance);
+            let mut ids: Vec<usize> = (0..instance.num_indexes()).collect();
+            ids.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let mut keep = vec![false; instance.num_indexes()];
+            for &i in ids.iter().take(k) {
+                keep[i] = true;
+            }
+            keep
+        }
+        _ => vec![true; instance.num_indexes()],
+    };
+
+    // Dense remapping old raw id → new raw id.
+    let mut remap = vec![usize::MAX; instance.num_indexes()];
+    let mut next = 0usize;
+    for (old, &kept) in keep.iter().enumerate() {
+        if kept {
+            remap[old] = next;
+            next += 1;
+        }
+    }
+
+    let mut b = InstanceBuilder::new(format!(
+        "{}-{}-{}idx",
+        instance.name(),
+        options.density,
+        next
+    ));
+
+    for idx in instance.indexes() {
+        if keep[idx.id.raw()] {
+            b.push_index(idx.clone());
+        }
+    }
+    for q in instance.queries() {
+        b.push_query(q.clone());
+    }
+
+    // 2. Filter plans: drop plans touching removed indexes, then keep the top
+    //    `plans_per_query` by speed-up.
+    let per_query_limit = options.density.plans_per_query();
+    for q in instance.query_ids() {
+        let mut surviving: Vec<_> = instance
+            .plans_of_query(q)
+            .iter()
+            .map(|&pid| instance.plan(pid))
+            .filter(|p| p.indexes.iter().all(|i| keep[i.raw()]))
+            .collect();
+        surviving.sort_by(|a, b| {
+            b.speedup
+                .partial_cmp(&a.speedup)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let take = per_query_limit.unwrap_or(surviving.len());
+        for plan in surviving.into_iter().take(take) {
+            let indexes = plan
+                .indexes
+                .iter()
+                .map(|i| IndexId::new(remap[i.raw()]))
+                .collect();
+            b.add_plan(q, indexes, plan.speedup);
+        }
+    }
+
+    // 3. Filter build interactions by relative effect.
+    if let Some(min_effect) = options.density.min_build_effect() {
+        for bi in instance.build_interactions() {
+            if !keep[bi.target.raw()] || !keep[bi.helper.raw()] {
+                continue;
+            }
+            let base = instance.creation_cost(bi.target);
+            let effect = if base > 0.0 { bi.speedup / base } else { 0.0 };
+            if effect >= min_effect {
+                b.add_build_interaction(
+                    IndexId::new(remap[bi.target.raw()]),
+                    IndexId::new(remap[bi.helper.raw()]),
+                    bi.speedup,
+                );
+            }
+        }
+    }
+
+    // 4. Preserve precedence constraints among survivors.
+    for pr in instance.precedences() {
+        if keep[pr.before.raw()] && keep[pr.after.raw()] {
+            b.add_precedence(
+                IndexId::new(remap[pr.before.raw()]),
+                IndexId::new(remap[pr.after.raw()]),
+            );
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::InstanceStats;
+
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("toy");
+        let i0 = b.add_index(10.0);
+        let i1 = b.add_index(8.0);
+        let i2 = b.add_index(6.0);
+        let i3 = b.add_index(4.0);
+        let q0 = b.add_query(100.0);
+        let q1 = b.add_query(80.0);
+        b.add_plan(q0, vec![i0], 30.0);
+        b.add_plan(q0, vec![i0, i1], 60.0);
+        b.add_plan(q0, vec![i3], 5.0);
+        b.add_plan(q1, vec![i2], 20.0);
+        b.add_plan(q1, vec![i2, i3], 25.0);
+        b.add_build_interaction(i1, i0, 4.0); // 50% effect
+        b.add_build_interaction(i3, i2, 0.2); // 5% effect
+        b.add_precedence(i0, i1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_reduction_is_identity_in_counts() {
+        let inst = instance();
+        let red = reduce(&inst, ReduceOptions::full()).unwrap();
+        assert_eq!(red.num_indexes(), inst.num_indexes());
+        assert_eq!(red.num_plans(), inst.num_plans());
+        assert_eq!(
+            red.build_interactions().len(),
+            inst.build_interactions().len()
+        );
+        assert_eq!(red.precedences().len(), 1);
+    }
+
+    #[test]
+    fn low_density_keeps_best_plan_per_query_and_no_build_interactions() {
+        let inst = instance();
+        let red = reduce(
+            &inst,
+            ReduceOptions {
+                density: Density::Low,
+                max_indexes: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(red.num_plans(), 2);
+        assert!(red.build_interactions().is_empty());
+        let stats = InstanceStats::of(&red);
+        assert_eq!(stats.num_build_interactions, 0);
+        // Best plan of q0 is the 60s two-index plan.
+        assert!((red.plan_speedup(red.plans_of_query(crate::QueryId::new(0))[0]) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_density_keeps_two_plans_and_strong_interactions() {
+        let inst = instance();
+        let red = reduce(
+            &inst,
+            ReduceOptions {
+                density: Density::Mid,
+                max_indexes: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(red.num_plans(), 4);
+        // The 5% interaction is dropped, the 50% one survives.
+        assert_eq!(red.build_interactions().len(), 1);
+        assert_eq!(red.build_interactions()[0].speedup, 4.0);
+    }
+
+    #[test]
+    fn max_indexes_keeps_most_beneficial_and_remaps_ids() {
+        let inst = instance();
+        let red = reduce(&inst, ReduceOptions::low(2)).unwrap();
+        assert_eq!(red.num_indexes(), 2);
+        // Every plan in the reduced instance references only valid ids.
+        for p in red.plans() {
+            for &i in &p.indexes {
+                assert!(i.raw() < 2);
+            }
+        }
+        // Benefit shares: i0 = 30 + 30 = 60, i1 = 30, i2 = 20 + 12.5 = 32.5,
+        // i3 = 5 + 12.5 = 17.5 — so the top two are i0 and i2.
+        let names: Vec<&str> = red.indexes().iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"idx0"));
+        assert!(names.contains(&"idx2"));
+    }
+
+    #[test]
+    fn queries_without_plans_survive() {
+        let inst = instance();
+        let red = reduce(&inst, ReduceOptions::low(1)).unwrap();
+        assert_eq!(red.num_queries(), 2);
+        assert_eq!(red.baseline_runtime(), inst.baseline_runtime());
+    }
+
+    #[test]
+    fn precedence_dropped_when_member_removed() {
+        let inst = instance();
+        let red = reduce(&inst, ReduceOptions::low(1)).unwrap();
+        assert!(red.precedences().is_empty() || red.num_indexes() >= 2);
+    }
+
+    #[test]
+    fn reduced_instance_name_mentions_density_and_size() {
+        let inst = instance();
+        let red = reduce(&inst, ReduceOptions::mid(3)).unwrap();
+        assert!(red.name().contains("mid"));
+        assert!(red.name().contains("3idx"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Operational deployment schedules.
+//!
+//! A [`Deployment`] is just a permutation; what a DBA actually executes is a
+//! *schedule*: which index to build when, what it costs, which existing index
+//! it can be built from, and how much faster the workload becomes at each
+//! step. [`DeploymentSchedule`] materializes that view from an evaluated
+//! order, and renders it either as a human-readable timeline or as a DDL
+//! script skeleton.
+
+use crate::instance::ProblemInstance;
+use crate::objective::{ObjectiveEvaluator, ObjectiveValue};
+use crate::solution::Deployment;
+use crate::types::IndexId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled index build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledBuild {
+    /// Position in the deployment order (0-based).
+    pub position: usize,
+    /// The index being built.
+    pub index: IndexId,
+    /// Deployment clock at which the build starts.
+    pub start: f64,
+    /// Deployment clock at which the index becomes available.
+    pub finish: f64,
+    /// Effective build cost (after build interactions).
+    pub cost: f64,
+    /// The already-built index whose presence made this build cheaper, if the
+    /// best applicable build interaction is known.
+    pub built_from: Option<IndexId>,
+    /// Workload runtime while this index is building.
+    pub runtime_during: f64,
+    /// Workload runtime once this index is available.
+    pub runtime_after: f64,
+}
+
+/// A fully resolved deployment schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentSchedule {
+    builds: Vec<ScheduledBuild>,
+    baseline_runtime: f64,
+    final_runtime: f64,
+    total_time: f64,
+    objective: f64,
+}
+
+impl DeploymentSchedule {
+    /// Builds the schedule for a deployment order.
+    pub fn new(instance: &ProblemInstance, deployment: &Deployment) -> Self {
+        let value = ObjectiveEvaluator::new(instance).evaluate(deployment);
+        Self::from_objective(instance, deployment, &value)
+    }
+
+    /// Builds the schedule from an already evaluated objective (avoids
+    /// re-evaluating when the caller has the [`ObjectiveValue`] at hand).
+    pub fn from_objective(
+        instance: &ProblemInstance,
+        deployment: &Deployment,
+        value: &ObjectiveValue,
+    ) -> Self {
+        let mut built = vec![false; instance.num_indexes()];
+        let mut builds = Vec::with_capacity(value.steps.len());
+        for (position, step) in value.steps.iter().enumerate() {
+            // Which helper produced the best interaction, if any?
+            let built_from = instance
+                .helpers_of(step.index)
+                .iter()
+                .filter(|(helper, _)| built[helper.raw()])
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .filter(|(_, saving)| *saving > 0.0)
+                .map(|(helper, _)| *helper);
+            builds.push(ScheduledBuild {
+                position,
+                index: step.index,
+                start: step.elapsed_start,
+                finish: step.elapsed_end,
+                cost: step.build_cost,
+                built_from,
+                runtime_during: step.runtime_before,
+                runtime_after: step.runtime_after,
+            });
+            built[step.index.raw()] = true;
+        }
+        let _ = deployment;
+        Self {
+            builds,
+            baseline_runtime: value.baseline_runtime,
+            final_runtime: value.final_runtime,
+            total_time: value.deployment_time,
+            objective: value.area,
+        }
+    }
+
+    /// The scheduled builds in execution order.
+    pub fn builds(&self) -> &[ScheduledBuild] {
+        &self.builds
+    }
+
+    /// Total deployment time.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+
+    /// Objective area of the schedule.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Workload runtime before / after the whole deployment.
+    pub fn runtime_range(&self) -> (f64, f64) {
+        (self.baseline_runtime, self.final_runtime)
+    }
+
+    /// The moment (deployment clock) at which the workload has realized at
+    /// least `fraction` (0–1) of its eventual total speed-up, or `None` when
+    /// the deployment yields no speed-up at all.
+    pub fn time_to_realize(&self, fraction: f64) -> Option<f64> {
+        let total_gain = self.baseline_runtime - self.final_runtime;
+        if total_gain <= 0.0 {
+            return None;
+        }
+        let target = self.baseline_runtime - total_gain * fraction.clamp(0.0, 1.0);
+        self.builds
+            .iter()
+            .find(|b| b.runtime_after <= target + 1e-9)
+            .map(|b| b.finish)
+    }
+
+    /// Renders a human-readable timeline.
+    pub fn render_timeline(&self, instance: &ProblemInstance) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "deployment of {} indexes — total {:.0}s, workload {:.0}s → {:.0}s, objective {:.0}\n",
+            self.builds.len(),
+            self.total_time,
+            self.baseline_runtime,
+            self.final_runtime,
+            self.objective
+        ));
+        for b in &self.builds {
+            let name = &instance.index(b.index).name;
+            let from = match b.built_from {
+                Some(h) => format!(" (scanning {})", instance.index(h).name),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  [{:>8.0}s – {:>8.0}s] build {}{} — workload {:.0}s → {:.0}s\n",
+                b.start, b.finish, name, from, b.runtime_during, b.runtime_after
+            ));
+        }
+        out
+    }
+
+    /// Renders a DDL script skeleton (`CREATE INDEX` statements in order,
+    /// with the timing information as comments).
+    pub fn render_ddl(&self, instance: &ProblemInstance) -> String {
+        let mut out = String::new();
+        out.push_str("-- generated by idd: deploy in this order\n");
+        for b in &self.builds {
+            let meta = instance.index(b.index);
+            let columns = if meta.key_columns.is_empty() {
+                "...".to_string()
+            } else {
+                meta.key_columns.join(", ")
+            };
+            let include = if meta.include_columns.is_empty() {
+                String::new()
+            } else {
+                format!(" INCLUDE ({})", meta.include_columns.join(", "))
+            };
+            out.push_str(&format!(
+                "-- step {} (~{:.0}s, expected workload runtime afterwards {:.0}s)\n",
+                b.position + 1,
+                b.cost,
+                b.runtime_after
+            ));
+            out.push_str(&format!(
+                "CREATE INDEX {} ON {} ({}){};\n",
+                meta.name,
+                if meta.table.is_empty() { "<table>" } else { &meta.table },
+                columns,
+                include
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("sched");
+        let mut wide = crate::index::IndexMeta::named(
+            IndexId::new(0),
+            "ix_people_lang_age",
+            "PEOPLE",
+            vec!["LANG".into(), "AGE".into()],
+            6.0,
+        );
+        wide.include_columns = vec!["REGION".into()];
+        b.push_index(wide);
+        b.push_index(crate::index::IndexMeta::named(
+            IndexId::new(1),
+            "ix_people_lang",
+            "PEOPLE",
+            vec!["LANG".into()],
+            4.0,
+        ));
+        let q = b.add_named_query("report", 30.0);
+        b.add_plan(q, vec![IndexId::new(0)], 20.0);
+        b.add_plan(q, vec![IndexId::new(1)], 5.0);
+        b.add_build_interaction(IndexId::new(1), IndexId::new(0), 3.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schedule_matches_objective_steps() {
+        let inst = instance();
+        let d = Deployment::from_raw([0, 1]);
+        let schedule = DeploymentSchedule::new(&inst, &d);
+        assert_eq!(schedule.builds().len(), 2);
+        assert_eq!(schedule.total_time(), 6.0 + 1.0);
+        assert_eq!(schedule.runtime_range(), (30.0, 10.0));
+        // The second build exploits the wide index.
+        assert_eq!(schedule.builds()[1].built_from, Some(IndexId::new(0)));
+        assert_eq!(schedule.builds()[1].cost, 1.0);
+        // The first cannot (nothing exists yet).
+        assert_eq!(schedule.builds()[0].built_from, None);
+    }
+
+    #[test]
+    fn time_to_realize_fractions() {
+        let inst = instance();
+        let d = Deployment::from_raw([0, 1]);
+        let schedule = DeploymentSchedule::new(&inst, &d);
+        // All of the 20s gain arrives when the wide index finishes at t=6.
+        assert_eq!(schedule.time_to_realize(0.5), Some(6.0));
+        assert_eq!(schedule.time_to_realize(1.0), Some(6.0));
+        // A deployment with no gain reports None.
+        let mut b = ProblemInstance::builder("nogain");
+        b.add_index(1.0);
+        b.add_query(5.0);
+        let no_gain = b.build().unwrap();
+        let sched = DeploymentSchedule::new(&no_gain, &Deployment::identity(1));
+        assert_eq!(sched.time_to_realize(0.5), None);
+    }
+
+    #[test]
+    fn timeline_and_ddl_render_names_and_order() {
+        let inst = instance();
+        let d = Deployment::from_raw([0, 1]);
+        let schedule = DeploymentSchedule::new(&inst, &d);
+        let timeline = schedule.render_timeline(&inst);
+        assert!(timeline.contains("ix_people_lang_age"));
+        assert!(timeline.contains("scanning ix_people_lang_age"));
+        let ddl = schedule.render_ddl(&inst);
+        let first = ddl.find("ix_people_lang_age").unwrap();
+        let second = ddl.rfind("CREATE INDEX ix_people_lang ").unwrap();
+        assert!(first < second, "DDL must list the wide index first");
+        assert!(ddl.contains("INCLUDE (REGION)"));
+        assert!(ddl.contains("ON PEOPLE (LANG, AGE)"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let inst = instance();
+        let schedule = DeploymentSchedule::new(&inst, &Deployment::from_raw([1, 0]));
+        let json = serde_json::to_string(&schedule).unwrap();
+        let back: DeploymentSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, schedule);
+    }
+}

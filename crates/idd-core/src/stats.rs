@@ -1,0 +1,169 @@
+//! Instance statistics — the quantities of the paper's Table 4.
+
+use crate::instance::ProblemInstance;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a problem instance, matching Table 4 of the paper:
+/// `|Q|`, `|I|`, `|P|`, the widest plan, and the number of build and query
+/// interactions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// Instance name.
+    pub name: String,
+    /// Number of queries `|Q|`.
+    pub num_queries: usize,
+    /// Number of candidate indexes `|I|`.
+    pub num_indexes: usize,
+    /// Number of query plans (atomic configurations) `|P|`.
+    pub num_plans: usize,
+    /// Number of indexes in the widest plan ("Largest Plan" in Table 4).
+    pub largest_plan: usize,
+    /// Number of build interactions (`cspdup` entries).
+    pub num_build_interactions: usize,
+    /// Number of query interactions: plans that require two or more indexes.
+    pub num_query_interactions: usize,
+    /// Maximum relative build-cost saving over all indexes
+    /// (`max_i max_j cspdup(i,j)/ctime(i)`); the paper reports observing up
+    /// to ~80% on TPC-DS.
+    pub max_build_saving_ratio: f64,
+    /// Relative saving of the whole deployment when every build interaction
+    /// is exploited (`1 − Σ min-cost / Σ ctime`); the paper reports ~20%.
+    pub max_total_deployment_saving_ratio: f64,
+}
+
+impl InstanceStats {
+    /// Computes the statistics of an instance.
+    pub fn of(instance: &ProblemInstance) -> Self {
+        let largest_plan = instance
+            .plans()
+            .iter()
+            .map(|p| p.width())
+            .max()
+            .unwrap_or(0);
+        let num_query_interactions = instance
+            .plans()
+            .iter()
+            .filter(|p| p.is_interaction())
+            .count();
+        let max_build_saving_ratio = instance
+            .build_interactions()
+            .iter()
+            .map(|bi| {
+                let base = instance.creation_cost(bi.target);
+                if base > 0.0 {
+                    bi.speedup / base
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0_f64, f64::max);
+        let total_base: f64 = instance.total_base_build_cost();
+        let total_min: f64 = instance
+            .index_ids()
+            .map(|i| instance.min_build_cost(i))
+            .sum();
+        let max_total_deployment_saving_ratio = if total_base > 0.0 {
+            1.0 - total_min / total_base
+        } else {
+            0.0
+        };
+        Self {
+            name: instance.name().to_string(),
+            num_queries: instance.num_queries(),
+            num_indexes: instance.num_indexes(),
+            num_plans: instance.num_plans(),
+            largest_plan,
+            num_build_interactions: instance.build_interactions().len(),
+            num_query_interactions,
+            max_build_saving_ratio,
+            max_total_deployment_saving_ratio,
+        }
+    }
+
+    /// Renders the Table-4 row for this instance.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<10} {:>5} {:>5} {:>6} {:>12} {:>14} {:>14}",
+            self.name,
+            self.num_queries,
+            self.num_indexes,
+            self.num_plans,
+            format!("{} Index", self.largest_plan),
+            self.num_build_interactions,
+            self.num_query_interactions
+        )
+    }
+
+    /// Header matching [`InstanceStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<10} {:>5} {:>5} {:>6} {:>12} {:>14} {:>14}",
+            "Dataset", "|Q|", "|I|", "|P|", "LargestPlan", "#Inter.(Build)", "#Inter.(Query)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::IndexId;
+
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("stats");
+        let i0 = b.add_index(10.0);
+        let i1 = b.add_index(5.0);
+        let i2 = b.add_index(2.0);
+        let q0 = b.add_query(100.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q0, vec![i0], 10.0);
+        b.add_plan(q0, vec![i0, i1, i2], 60.0);
+        b.add_plan(q1, vec![i1, i2], 20.0);
+        b.add_build_interaction(i1, i0, 4.0); // 80% of 5.0
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_match_definition() {
+        let s = InstanceStats::of(&instance());
+        assert_eq!(s.num_queries, 2);
+        assert_eq!(s.num_indexes, 3);
+        assert_eq!(s.num_plans, 3);
+        assert_eq!(s.largest_plan, 3);
+        assert_eq!(s.num_build_interactions, 1);
+        assert_eq!(s.num_query_interactions, 2);
+    }
+
+    #[test]
+    fn build_saving_ratios() {
+        let s = InstanceStats::of(&instance());
+        assert!((s.max_build_saving_ratio - 0.8).abs() < 1e-9);
+        // Total: base 17, min-cost sum 13 → saving 4/17.
+        assert!((s.max_total_deployment_saving_ratio - 4.0 / 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_row_mentions_key_numbers() {
+        let s = InstanceStats::of(&instance());
+        let row = s.table_row();
+        assert!(row.contains("stats"));
+        assert!(row.contains("3 Index"));
+        let header = InstanceStats::table_header();
+        assert!(header.contains("|I|"));
+    }
+
+    #[test]
+    fn handles_instance_with_no_interactions() {
+        let mut b = ProblemInstance::builder("plain");
+        let i0 = b.add_index(1.0);
+        let q = b.add_query(5.0);
+        b.add_plan(q, vec![i0], 1.0);
+        let inst = b.build().unwrap();
+        let s = InstanceStats::of(&inst);
+        assert_eq!(s.num_build_interactions, 0);
+        assert_eq!(s.num_query_interactions, 0);
+        assert_eq!(s.max_build_saving_ratio, 0.0);
+        assert_eq!(s.max_total_deployment_saving_ratio, 0.0);
+        assert_eq!(s.largest_plan, 1);
+        let _ = IndexId::new(0);
+    }
+}

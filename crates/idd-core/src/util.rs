@@ -1,0 +1,104 @@
+//! Small numeric helpers shared by the evaluators and solvers.
+
+/// Tolerance used when comparing objective values and runtimes.
+///
+/// Objective values are sums of products of runtimes and build costs, so a
+/// relative tolerance is used for large magnitudes and an absolute tolerance
+/// for values near zero.
+pub const EPSILON: f64 = 1e-7;
+
+/// Returns `true` when `a` and `b` are equal within [`EPSILON`] (relative for
+/// large values, absolute near zero).
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= EPSILON {
+        return true;
+    }
+    let largest = a.abs().max(b.abs());
+    diff <= largest * EPSILON
+}
+
+/// Returns `true` when `a` is strictly less than `b` beyond the tolerance.
+pub fn definitely_less(a: f64, b: f64) -> bool {
+    a < b && !approx_eq(a, b)
+}
+
+/// Maximum of two floats treating `NaN` as the identity (never selected).
+pub fn fmax(a: f64, b: f64) -> f64 {
+    if a.is_nan() {
+        b
+    } else if b.is_nan() {
+        a
+    } else if a >= b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Minimum of two floats treating `NaN` as the identity (never selected).
+pub fn fmin(a: f64, b: f64) -> f64 {
+    if a.is_nan() {
+        b
+    } else if b.is_nan() {
+        a
+    } else if a <= b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Compares two floats for sorting, ordering `NaN` last.
+pub fn fcmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        if a.is_nan() && b.is_nan() {
+            std::cmp::Ordering::Equal
+        } else if a.is_nan() {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Less
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_near_zero() {
+        assert!(approx_eq(0.0, 1e-9));
+        assert!(!approx_eq(0.0, 1e-3));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-9)));
+        assert!(!approx_eq(1e12, 1.001e12));
+    }
+
+    #[test]
+    fn definitely_less_respects_tolerance() {
+        assert!(definitely_less(1.0, 2.0));
+        assert!(!definitely_less(1.0, 1.0 + 1e-12));
+        assert!(!definitely_less(2.0, 1.0));
+    }
+
+    #[test]
+    fn fmax_fmin_ignore_nan() {
+        assert_eq!(fmax(f64::NAN, 3.0), 3.0);
+        assert_eq!(fmax(3.0, f64::NAN), 3.0);
+        assert_eq!(fmin(f64::NAN, 3.0), 3.0);
+        assert_eq!(fmax(2.0, 3.0), 3.0);
+        assert_eq!(fmin(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn fcmp_orders_nan_last() {
+        let mut v = vec![3.0, f64::NAN, 1.0, 2.0];
+        v.sort_by(|a, b| fcmp(*a, *b));
+        assert_eq!(&v[..3], &[1.0, 2.0, 3.0]);
+        assert!(v[3].is_nan());
+    }
+}

@@ -1,0 +1,159 @@
+//! Objective-vs-time trajectories (the data behind Figures 11–13).
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an incumbent trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Wall-clock seconds since the solver started.
+    pub elapsed_seconds: f64,
+    /// Best (smallest) objective value known at that time.
+    pub objective: f64,
+}
+
+/// The incumbent trajectory of an anytime solver.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an improvement (only kept if it actually improves on the last
+    /// recorded objective).
+    pub fn record(&mut self, elapsed_seconds: f64, objective: f64) {
+        if let Some(last) = self.points.last() {
+            if objective >= last.objective {
+                return;
+            }
+        }
+        self.points.push(TrajectoryPoint {
+            elapsed_seconds,
+            objective,
+        });
+    }
+
+    /// All points, in increasing time.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Best objective known at `elapsed` seconds (∞ before the first point).
+    pub fn objective_at(&self, elapsed: f64) -> f64 {
+        let mut best = f64::INFINITY;
+        for p in &self.points {
+            if p.elapsed_seconds <= elapsed {
+                best = p.objective;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Final (best) objective, or ∞ when empty.
+    pub fn final_objective(&self) -> f64 {
+        self.points.last().map(|p| p.objective).unwrap_or(f64::INFINITY)
+    }
+
+    /// `true` when no improvement was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Samples the trajectory at evenly spaced times (used to average several
+    /// runs for the figures).
+    pub fn sample(&self, horizon_seconds: f64, num_samples: usize) -> Vec<TrajectoryPoint> {
+        (0..num_samples)
+            .map(|i| {
+                let t = horizon_seconds * (i as f64 + 1.0) / num_samples as f64;
+                TrajectoryPoint {
+                    elapsed_seconds: t,
+                    objective: self.objective_at(t),
+                }
+            })
+            .collect()
+    }
+
+    /// Averages several trajectories into one sampled series. Points where a
+    /// run has no incumbent yet are skipped in the average for that sample.
+    pub fn average(trajectories: &[Trajectory], horizon_seconds: f64, num_samples: usize) -> Vec<TrajectoryPoint> {
+        (0..num_samples)
+            .map(|i| {
+                let t = horizon_seconds * (i as f64 + 1.0) / num_samples as f64;
+                let values: Vec<f64> = trajectories
+                    .iter()
+                    .map(|tr| tr.objective_at(t))
+                    .filter(|v| v.is_finite())
+                    .collect();
+                let objective = if values.is_empty() {
+                    f64::INFINITY
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                };
+                TrajectoryPoint {
+                    elapsed_seconds: t,
+                    objective,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keeps_only_improvements() {
+        let mut t = Trajectory::new();
+        t.record(1.0, 100.0);
+        t.record(2.0, 110.0); // worse — ignored
+        t.record(3.0, 90.0);
+        assert_eq!(t.points().len(), 2);
+        assert_eq!(t.final_objective(), 90.0);
+    }
+
+    #[test]
+    fn objective_at_is_a_step_function() {
+        let mut t = Trajectory::new();
+        t.record(1.0, 100.0);
+        t.record(3.0, 90.0);
+        assert!(t.objective_at(0.5).is_infinite());
+        assert_eq!(t.objective_at(1.0), 100.0);
+        assert_eq!(t.objective_at(2.9), 100.0);
+        assert_eq!(t.objective_at(3.0), 90.0);
+        assert_eq!(t.objective_at(100.0), 90.0);
+    }
+
+    #[test]
+    fn sampling_and_averaging() {
+        let mut a = Trajectory::new();
+        a.record(0.5, 100.0);
+        a.record(1.5, 80.0);
+        let mut b = Trajectory::new();
+        b.record(0.5, 120.0);
+        b.record(1.5, 100.0);
+        let avg = Trajectory::average(&[a.clone(), b], 2.0, 4);
+        assert_eq!(avg.len(), 4);
+        // At t=1.0 both incumbents exist: (100+120)/2.
+        assert_eq!(avg[1].objective, 110.0);
+        // At t=2.0: (80+100)/2.
+        assert_eq!(avg[3].objective, 90.0);
+        let samples = a.sample(2.0, 2);
+        assert_eq!(samples[0].objective, 100.0);
+        assert_eq!(samples[1].objective, 80.0);
+    }
+
+    #[test]
+    fn empty_trajectory_reports_infinity() {
+        let t = Trajectory::new();
+        assert!(t.is_empty());
+        assert!(t.final_objective().is_infinite());
+        assert!(t.objective_at(10.0).is_infinite());
+    }
+}

@@ -1,0 +1,146 @@
+//! Time and node budgets shared by the search algorithms.
+
+use std::time::{Duration, Instant};
+
+/// A search budget: wall-clock limit and/or node (iteration) limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchBudget {
+    /// Maximum wall-clock time; `None` means unlimited.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of explored nodes / iterations; `None` means unlimited.
+    pub node_limit: Option<u64>,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self {
+            time_limit: Some(Duration::from_secs(10)),
+            node_limit: None,
+        }
+    }
+}
+
+impl SearchBudget {
+    /// Budget limited only by wall-clock seconds.
+    pub fn seconds(secs: f64) -> Self {
+        Self {
+            time_limit: Some(Duration::from_secs_f64(secs)),
+            node_limit: None,
+        }
+    }
+
+    /// Budget limited only by node count.
+    pub fn nodes(limit: u64) -> Self {
+        Self {
+            time_limit: None,
+            node_limit: Some(limit),
+        }
+    }
+
+    /// Budget limited by both time and nodes.
+    pub fn bounded(secs: f64, nodes: u64) -> Self {
+        Self {
+            time_limit: Some(Duration::from_secs_f64(secs)),
+            node_limit: Some(nodes),
+        }
+    }
+
+    /// Unlimited budget (only sensible for tiny instances in tests).
+    pub fn unlimited() -> Self {
+        Self {
+            time_limit: None,
+            node_limit: None,
+        }
+    }
+
+    /// Starts a stopwatch for this budget.
+    pub fn start(&self) -> BudgetClock {
+        BudgetClock {
+            budget: *self,
+            started: Instant::now(),
+            nodes: 0,
+        }
+    }
+}
+
+/// A running stopwatch against a [`SearchBudget`].
+#[derive(Debug, Clone)]
+pub struct BudgetClock {
+    budget: SearchBudget,
+    started: Instant,
+    nodes: u64,
+}
+
+impl BudgetClock {
+    /// Seconds elapsed since the clock started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Counts one explored node / iteration.
+    pub fn count_node(&mut self) {
+        self.nodes += 1;
+    }
+
+    /// Counts `n` explored nodes.
+    pub fn count_nodes(&mut self, n: u64) {
+        self.nodes += n;
+    }
+
+    /// Total nodes counted so far.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// `true` when either limit has been exceeded.
+    pub fn exhausted(&self) -> bool {
+        if let Some(limit) = self.budget.node_limit {
+            if self.nodes >= limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.budget.time_limit {
+            if self.started.elapsed() >= limit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut clock = SearchBudget::nodes(3).start();
+        assert!(!clock.exhausted());
+        clock.count_nodes(3);
+        assert!(clock.exhausted());
+        assert_eq!(clock.nodes(), 3);
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts_by_nodes() {
+        let mut clock = SearchBudget::unlimited().start();
+        clock.count_nodes(1_000_000);
+        assert!(!clock.exhausted());
+    }
+
+    #[test]
+    fn time_limit_is_enforced() {
+        let clock = SearchBudget::seconds(0.0).start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(clock.exhausted());
+        assert!(clock.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let b = SearchBudget::bounded(1.5, 10);
+        assert_eq!(b.node_limit, Some(10));
+        assert!(b.time_limit.unwrap().as_secs_f64() > 1.4);
+        assert!(SearchBudget::default().time_limit.is_some());
+    }
+}

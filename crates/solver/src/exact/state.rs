@@ -1,0 +1,226 @@
+//! Incremental search state with O(step) push / pop, shared by the exact
+//! searches and the CP reinsertion search used by LNS / VNS.
+
+use idd_core::{IndexId, ProblemInstance};
+
+/// Undo record returned by [`SearchState::push`].
+#[derive(Debug, Clone)]
+pub struct StepUndo {
+    index: IndexId,
+    runtime_before: f64,
+    area_before: f64,
+    elapsed_before: f64,
+    /// `(query raw id, previous best speed-up)` for queries whose best
+    /// available plan changed.
+    changed_queries: Vec<(usize, f64)>,
+    /// Plans whose missing-index counters were decremented.
+    touched_plans: Vec<usize>,
+}
+
+/// Incremental evaluation state for a growing prefix of a deployment order.
+#[derive(Debug, Clone)]
+pub struct SearchState<'a> {
+    instance: &'a ProblemInstance,
+    built: Vec<bool>,
+    missing: Vec<u32>,
+    best_speedup: Vec<f64>,
+    runtime: f64,
+    area: f64,
+    elapsed: f64,
+    depth: usize,
+}
+
+impl<'a> SearchState<'a> {
+    /// Creates the empty-prefix state.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        Self {
+            built: vec![false; instance.num_indexes()],
+            missing: instance.plans().iter().map(|p| p.width() as u32).collect(),
+            best_speedup: vec![0.0; instance.num_queries()],
+            runtime: instance.baseline_runtime(),
+            area: 0.0,
+            elapsed: 0.0,
+            depth: 0,
+            instance,
+        }
+    }
+
+    /// The instance this state evaluates.
+    pub fn instance(&self) -> &'a ProblemInstance {
+        self.instance
+    }
+
+    /// Bitmap of built indexes, keyed by raw index id.
+    pub fn built(&self) -> &[bool] {
+        &self.built
+    }
+
+    /// `true` when the given index is already in the prefix.
+    pub fn is_built(&self, index: IndexId) -> bool {
+        self.built[index.raw()]
+    }
+
+    /// Current total workload runtime.
+    pub fn runtime(&self) -> f64 {
+        self.runtime
+    }
+
+    /// Objective area accumulated by the prefix.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Deployment time consumed by the prefix.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Number of indexes in the prefix.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// `true` when every index has been placed.
+    pub fn is_complete(&self) -> bool {
+        self.depth == self.instance.num_indexes()
+    }
+
+    /// Effective build cost the given index would have right now.
+    pub fn build_cost_of(&self, index: IndexId) -> f64 {
+        self.instance.effective_build_cost(index, &self.built)
+    }
+
+    /// Appends `index` to the prefix, returning the undo record.
+    pub fn push(&mut self, index: IndexId) -> StepUndo {
+        debug_assert!(!self.built[index.raw()], "index {index} pushed twice");
+        let build_cost = self.build_cost_of(index);
+        let undo = StepUndo {
+            index,
+            runtime_before: self.runtime,
+            area_before: self.area,
+            elapsed_before: self.elapsed,
+            changed_queries: Vec::new(),
+            touched_plans: Vec::new(),
+        };
+        let mut undo = undo;
+
+        self.area += self.runtime * build_cost;
+        self.elapsed += build_cost;
+        self.built[index.raw()] = true;
+        self.depth += 1;
+
+        for &pid in self.instance.plans_using_index(index) {
+            let p = pid.raw();
+            self.missing[p] -= 1;
+            undo.touched_plans.push(p);
+            if self.missing[p] == 0 {
+                let plan = self.instance.plan(pid);
+                let q = plan.query.raw();
+                let speedup = self.instance.plan_speedup(pid);
+                if speedup > self.best_speedup[q] {
+                    undo.changed_queries.push((q, self.best_speedup[q]));
+                    self.runtime -= speedup - self.best_speedup[q];
+                    self.best_speedup[q] = speedup;
+                }
+            }
+        }
+        undo
+    }
+
+    /// Reverts the most recent [`SearchState::push`] described by `undo`.
+    pub fn pop(&mut self, undo: StepUndo) {
+        debug_assert!(self.built[undo.index.raw()]);
+        for &(q, previous) in undo.changed_queries.iter().rev() {
+            self.best_speedup[q] = previous;
+        }
+        for &p in &undo.touched_plans {
+            self.missing[p] += 1;
+        }
+        self.built[undo.index.raw()] = false;
+        self.runtime = undo.runtime_before;
+        self.area = undo.area_before;
+        self.elapsed = undo.elapsed_before;
+        self.depth -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idd_core::{Deployment, ObjectiveEvaluator};
+
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("state");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(6.0);
+        let i2 = b.add_index(3.0);
+        let q = b.add_query(30.0);
+        b.add_plan(q, vec![i0], 5.0);
+        b.add_plan(q, vec![i1], 20.0);
+        let q2 = b.add_query(40.0);
+        b.add_plan(q2, vec![i1, i2], 25.0);
+        b.add_build_interaction(i0, i1, 3.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn push_matches_full_evaluator() {
+        let inst = instance();
+        let eval = ObjectiveEvaluator::new(&inst);
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0]] {
+            let mut state = SearchState::new(&inst);
+            for &raw in &order {
+                state.push(IndexId::new(raw));
+            }
+            let expected = eval.evaluate(&Deployment::from_raw(order));
+            assert!((state.area() - expected.area).abs() < 1e-9, "order {order:?}");
+            assert!((state.runtime() - expected.final_runtime).abs() < 1e-9);
+            assert!((state.elapsed() - expected.deployment_time).abs() < 1e-9);
+            assert!(state.is_complete());
+        }
+    }
+
+    #[test]
+    fn pop_restores_previous_state_exactly() {
+        let inst = instance();
+        let mut state = SearchState::new(&inst);
+        let u0 = state.push(IndexId::new(1));
+        let runtime_after_first = state.runtime();
+        let area_after_first = state.area();
+        let u1 = state.push(IndexId::new(2));
+        assert_ne!(state.runtime(), runtime_after_first);
+        state.pop(u1);
+        assert_eq!(state.runtime(), runtime_after_first);
+        assert_eq!(state.area(), area_after_first);
+        assert_eq!(state.depth(), 1);
+        state.pop(u0);
+        assert_eq!(state.depth(), 0);
+        assert_eq!(state.runtime(), inst.baseline_runtime());
+        assert_eq!(state.area(), 0.0);
+        assert!(!state.is_built(IndexId::new(1)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_explores_consistently() {
+        let inst = instance();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let mut state = SearchState::new(&inst);
+        // Explore 0 then backtrack and explore 1 — like a DFS would.
+        let u = state.push(IndexId::new(0));
+        state.pop(u);
+        let _ = state.push(IndexId::new(1));
+        let _ = state.push(IndexId::new(0));
+        let _ = state.push(IndexId::new(2));
+        let expected = eval.evaluate_area(&Deployment::from_raw([1, 0, 2]));
+        assert!((state.area() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_cost_reflects_interactions() {
+        let inst = instance();
+        let mut state = SearchState::new(&inst);
+        assert_eq!(state.build_cost_of(IndexId::new(0)), 4.0);
+        state.push(IndexId::new(1));
+        assert_eq!(state.build_cost_of(IndexId::new(0)), 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # idd-solver — solvers for the index deployment ordering problem
+//!
+//! This crate implements every solution technique the paper evaluates:
+//!
+//! * [`greedy`] — the interaction-guided greedy of Section 7.4 / Algorithm 1,
+//!   used as the initial solution for local search (and as a baseline).
+//! * [`dp`] — the dynamic-programming baseline of Schnaitter et al.
+//!   (Algorithm 2), built on a Stoer–Wagner minimum cut ([`mincut`]).
+//! * [`random`] — random-permutation baselines (Table 7).
+//! * [`properties`] — the combinatorial problem properties of Section 5
+//!   (alliances, colonized, dominated, disjoint, tail indexes) run to a fixed
+//!   point, producing the additional ordering constraints that speed up the
+//!   exact searches by orders of magnitude (Tables 5 and 6).
+//! * [`exact`] — exact search: a CP-style branch-and-prune solver with
+//!   first-fail ordering ([`exact::cp`]), an A* / best-first subset search
+//!   ([`exact::astar`]), and a time-discretized MIP-style branch-and-bound
+//!   ([`exact::mip`]) that reproduces the scalability collapse the paper
+//!   reports for integer programming.
+//! * [`local`] — local search: Tabu search (best-swap and first-swap),
+//!   Large Neighborhood Search and Variable Neighborhood Search on top of the
+//!   CP reinsertion search (Section 7).
+//! * [`constraints`], [`anytime`], [`budget`], [`result`] — shared
+//!   infrastructure: precedence-constraint closures, objective-vs-time
+//!   trajectories (Figures 11–13), time/node budgets and solver reports.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod anytime;
+pub mod budget;
+pub mod constraints;
+pub mod dp;
+pub mod exact;
+pub mod greedy;
+pub mod local;
+pub mod mincut;
+pub mod properties;
+pub mod random;
+pub mod result;
+
+pub mod prelude;
+
+pub use anytime::{Trajectory, TrajectoryPoint};
+pub use budget::SearchBudget;
+pub use constraints::OrderConstraints;
+pub use dp::DpSolver;
+pub use greedy::GreedySolver;
+pub use random::RandomSolver;
+pub use result::{SolveOutcome, SolveResult};

@@ -1,0 +1,211 @@
+//! Large Neighborhood Search (Section 7.2).
+//!
+//! Each iteration relaxes a fixed fraction of the indexes (the paper uses
+//! 5%), keeps the rest of the current order fixed, and asks the CP
+//! reinsertion search for a strictly better completion, giving up after a
+//! fixed number of backtracks (the failure limit, 500 in the paper). If the
+//! neighbourhood contains an improvement it becomes the new current solution;
+//! otherwise a new random relaxation is drawn.
+
+use crate::anytime::Trajectory;
+use crate::budget::SearchBudget;
+use crate::constraints::OrderConstraints;
+use crate::exact::bounds::LowerBound;
+use crate::local::reinsert;
+use crate::properties::{self, AnalysisOptions};
+use crate::result::{SolveOutcome, SolveResult};
+use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the LNS solver.
+#[derive(Debug, Clone)]
+pub struct LnsConfig {
+    /// Fraction of the indexes relaxed each iteration (paper: 5%).
+    pub relax_fraction: f64,
+    /// Backtrack limit per reinsertion search (paper: 500).
+    pub failure_limit: u64,
+    /// Time / iteration budget.
+    pub budget: SearchBudget,
+    /// RNG seed.
+    pub seed: u64,
+    /// Property analysis used to derive constraints that restrict the
+    /// neighbourhood (and keep it feasible). `AnalysisOptions::none()`
+    /// uses only hard precedences.
+    pub analysis: AnalysisOptions,
+}
+
+impl Default for LnsConfig {
+    fn default() -> Self {
+        Self {
+            relax_fraction: 0.05,
+            failure_limit: 500,
+            budget: SearchBudget::default(),
+            seed: 0x1A5,
+            analysis: AnalysisOptions::none(),
+        }
+    }
+}
+
+/// The LNS solver.
+#[derive(Debug, Clone, Default)]
+pub struct LnsSolver {
+    config: LnsConfig,
+}
+
+impl LnsSolver {
+    /// Creates a solver with the default configuration and the given budget.
+    pub fn new(budget: SearchBudget) -> Self {
+        Self {
+            config: LnsConfig {
+                budget,
+                ..LnsConfig::default()
+            },
+        }
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: LnsConfig) -> Self {
+        Self { config }
+    }
+
+    /// Improves `initial` until the budget runs out.
+    pub fn solve(&self, instance: &ProblemInstance, initial: Deployment) -> SolveResult {
+        let n = instance.num_indexes();
+        let analysis = properties::analyze(instance, self.config.analysis);
+        let constraints: &OrderConstraints = &analysis.constraints;
+        let bound = LowerBound::new(instance);
+        let evaluator = ObjectiveEvaluator::new(instance);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut clock = self.config.budget.start();
+
+        let mut current = initial;
+        let mut current_area = evaluator.evaluate_area(&current);
+        let mut trajectory = Trajectory::new();
+        trajectory.record(clock.elapsed_seconds(), current_area);
+
+        let relax_count = ((n as f64 * self.config.relax_fraction).ceil() as usize)
+            .clamp(2.min(n), n);
+
+        let mut iterations = 0u64;
+        while !clock.exhausted() && n >= 2 {
+            iterations += 1;
+            clock.count_node();
+
+            // Draw the relaxed set uniformly at random.
+            let mut ids: Vec<usize> = (0..n).collect();
+            ids.shuffle(&mut rng);
+            let relaxed_raw: Vec<usize> = ids[..relax_count].to_vec();
+            let relaxed: Vec<IndexId> = relaxed_raw.iter().map(|&r| IndexId::new(r)).collect();
+            let fixed: Vec<IndexId> = current
+                .order()
+                .iter()
+                .copied()
+                .filter(|i| !relaxed.contains(i))
+                .collect();
+
+            let result = reinsert(
+                instance,
+                constraints,
+                &bound,
+                &fixed,
+                &relaxed,
+                current_area,
+                self.config.failure_limit,
+            );
+            if let Some(order) = result.order {
+                current = Deployment::new(order);
+                current_area = result.area;
+                trajectory.record(clock.elapsed_seconds(), current_area);
+            }
+        }
+
+        SolveResult {
+            solver: "lns".into(),
+            deployment: Some(current),
+            objective: current_area,
+            outcome: SolveOutcome::Feasible,
+            elapsed_seconds: clock.elapsed_seconds(),
+            nodes: iterations,
+            trajectory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedySolver;
+
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("lns");
+        let i: Vec<IndexId> = (0..10)
+            .map(|k| b.add_index(2.0 + (k % 5) as f64 * 2.0))
+            .collect();
+        for q in 0..8 {
+            let qid = b.add_query(60.0 + q as f64 * 10.0);
+            b.add_plan(qid, vec![i[q % 10]], 9.0);
+            b.add_plan(qid, vec![i[q % 10], i[(q + 4) % 10]], 24.0);
+        }
+        b.add_build_interaction(i[2], i[3], 1.0);
+        b.add_build_interaction(i[7], i[6], 2.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lns_never_worsens_and_stays_valid() {
+        let inst = instance();
+        let initial = Deployment::identity(inst.num_indexes());
+        let eval = ObjectiveEvaluator::new(&inst);
+        let initial_area = eval.evaluate_area(&initial);
+        let result = LnsSolver::new(SearchBudget::nodes(60)).solve(&inst, initial);
+        assert!(result.objective <= initial_area + 1e-9);
+        let d = result.deployment.unwrap();
+        assert!(d.is_valid_for(&inst));
+        assert!((eval.evaluate_area(&d) - result.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lns_improves_greedy_on_this_instance() {
+        let inst = instance();
+        let greedy = GreedySolver::new().construct(&inst);
+        let eval = ObjectiveEvaluator::new(&inst);
+        let greedy_area = eval.evaluate_area(&greedy);
+        let result = LnsSolver::new(SearchBudget::nodes(200)).solve(&inst, greedy);
+        assert!(result.objective <= greedy_area + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed_and_node_budget() {
+        let inst = instance();
+        let initial = Deployment::identity(inst.num_indexes());
+        let run = |seed| {
+            LnsSolver::with_config(LnsConfig {
+                seed,
+                budget: SearchBudget::nodes(40),
+                ..LnsConfig::default()
+            })
+            .solve(&inst, initial.clone())
+            .objective
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn respects_precedences_through_the_reinsertion_search() {
+        let mut b = ProblemInstance::builder("lns-prec");
+        let i0 = b.add_index(6.0);
+        let i1 = b.add_index(1.0);
+        let i2 = b.add_index(2.0);
+        let i3 = b.add_index(2.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i1], 35.0);
+        b.add_plan(q, vec![i2], 10.0);
+        b.add_plan(q, vec![i3], 5.0);
+        b.add_precedence(i0, i1);
+        let inst = b.build().unwrap();
+        let initial = Deployment::from_raw([0, 1, 2, 3]);
+        let result = LnsSolver::new(SearchBudget::nodes(80)).solve(&inst, initial);
+        assert!(result.deployment.unwrap().is_valid_for(&inst));
+    }
+}

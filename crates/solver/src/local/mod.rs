@@ -1,0 +1,279 @@
+//! Local search methods (Section 7): Tabu search, LNS and VNS.
+//!
+//! All three start from an initial solution (normally the greedy order of
+//! Algorithm 1) and improve it within a wall-clock budget, recording the
+//! incumbent trajectory used by Figures 11–13. LNS and VNS share the
+//! CP-powered *reinsertion search* in this module: a subset of indexes is
+//! removed from the current order and optimally re-inserted by a small
+//! branch-and-prune search with a failure (backtrack) limit.
+
+pub mod lns;
+pub mod tabu;
+pub mod vns;
+
+pub use lns::{LnsConfig, LnsSolver};
+pub use tabu::{SwapStrategy, TabuConfig, TabuSolver};
+pub use vns::{VnsConfig, VnsSolver};
+
+use crate::constraints::OrderConstraints;
+use crate::exact::bounds::LowerBound;
+use crate::exact::state::SearchState;
+use idd_core::{IndexId, ProblemInstance};
+
+/// Result of one reinsertion search.
+#[derive(Debug, Clone)]
+pub(crate) struct ReinsertionResult {
+    /// The best complete order found, if it improves on the incumbent.
+    pub order: Option<Vec<IndexId>>,
+    /// Its objective area (only meaningful when `order` is `Some`).
+    pub area: f64,
+    /// `true` when the neighbourhood was searched exhaustively (no better
+    /// solution exists in it); `false` when the failure limit was hit first.
+    pub proved: bool,
+}
+
+/// Optimally re-inserts `relaxed` into the sequence `fixed` (whose relative
+/// order is preserved), looking for an order strictly better than
+/// `incumbent_area`. The search backtracks at most `failure_limit` times.
+pub(crate) fn reinsert(
+    instance: &ProblemInstance,
+    constraints: &OrderConstraints,
+    bound: &LowerBound,
+    fixed: &[IndexId],
+    relaxed: &[IndexId],
+    incumbent_area: f64,
+    failure_limit: u64,
+) -> ReinsertionResult {
+    struct Ctx<'a> {
+        instance: &'a ProblemInstance,
+        constraints: &'a OrderConstraints,
+        bound: &'a LowerBound,
+        fixed: &'a [IndexId],
+        relaxed: &'a [IndexId],
+        best_area: f64,
+        best_order: Option<Vec<IndexId>>,
+        failures: u64,
+        failure_limit: u64,
+        aborted: bool,
+    }
+
+    fn dfs(
+        ctx: &mut Ctx<'_>,
+        state: &mut SearchState<'_>,
+        order: &mut Vec<IndexId>,
+        next_fixed: usize,
+        relaxed_used: &mut Vec<bool>,
+    ) {
+        if ctx.aborted {
+            return;
+        }
+        if state.is_complete() {
+            if state.area() < ctx.best_area - 1e-12 {
+                ctx.best_area = state.area();
+                ctx.best_order = Some(order.clone());
+            }
+            return;
+        }
+        let lb = state.area() + ctx.bound.remaining(state.built(), state.runtime());
+        if lb >= ctx.best_area - 1e-12 {
+            ctx.failures += 1;
+            if ctx.failures > ctx.failure_limit {
+                ctx.aborted = true;
+            }
+            return;
+        }
+
+        // Candidate moves: the next fixed index, then each unused relaxed
+        // index (relaxed first would also work; fixed-first keeps the search
+        // close to the incumbent which finds improvements faster).
+        let mut candidates: Vec<(bool, usize, IndexId)> = Vec::new();
+        if next_fixed < ctx.fixed.len() {
+            candidates.push((true, next_fixed, ctx.fixed[next_fixed]));
+        }
+        for (pos, &r) in ctx.relaxed.iter().enumerate() {
+            if !relaxed_used[pos] {
+                candidates.push((false, pos, r));
+            }
+        }
+
+        let mut any_feasible = false;
+        for (is_fixed, pos, index) in candidates {
+            if ctx.aborted {
+                return;
+            }
+            if !ctx.constraints.can_place(index, state.built()) {
+                continue;
+            }
+            any_feasible = true;
+            let undo = state.push(index);
+            order.push(index);
+            if is_fixed {
+                dfs(ctx, state, order, next_fixed + 1, relaxed_used);
+            } else {
+                relaxed_used[pos] = true;
+                dfs(ctx, state, order, next_fixed, relaxed_used);
+                relaxed_used[pos] = false;
+            }
+            order.pop();
+            state.pop(undo);
+        }
+        if !any_feasible {
+            ctx.failures += 1;
+            if ctx.failures > ctx.failure_limit {
+                ctx.aborted = true;
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        instance,
+        constraints,
+        bound,
+        fixed,
+        relaxed,
+        best_area: incumbent_area,
+        best_order: None,
+        failures: 0,
+        failure_limit,
+        aborted: false,
+    };
+    let mut state = SearchState::new(instance);
+    let mut order = Vec::with_capacity(instance.num_indexes());
+    let mut relaxed_used = vec![false; relaxed.len()];
+    dfs(&mut ctx, &mut state, &mut order, 0, &mut relaxed_used);
+    let _ = ctx.instance;
+
+    ReinsertionResult {
+        order: ctx.best_order,
+        area: ctx.best_area,
+        proved: !ctx.aborted,
+    }
+}
+
+/// Checks whether swapping the indexes at `a` and `b` (a < b is not required)
+/// keeps the order feasible under the precedence closure.
+pub(crate) fn swap_is_feasible(
+    constraints: &OrderConstraints,
+    order: &[IndexId],
+    a: usize,
+    b: usize,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let early = order[lo]; // moves later
+    let late = order[hi]; // moves earlier
+    // `late` moves to position lo: nothing between lo..hi may be required
+    // before it, and it must not be required after `early`... the pairwise
+    // check against every index in the window (inclusive) covers both.
+    for pos in lo..=hi {
+        let other = order[pos];
+        if other != late && constraints.must_precede(other, late) {
+            return false;
+        }
+        if other != early && constraints.must_precede(early, other) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idd_core::{Deployment, ObjectiveEvaluator};
+
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("local");
+        let i: Vec<IndexId> = (0..5).map(|k| b.add_index(2.0 + k as f64)).collect();
+        let q0 = b.add_query(60.0);
+        b.add_plan(q0, vec![i[0]], 10.0);
+        b.add_plan(q0, vec![i[0], i[1]], 30.0);
+        let q1 = b.add_query(40.0);
+        b.add_plan(q1, vec![i[2]], 15.0);
+        let q2 = b.add_query(50.0);
+        b.add_plan(q2, vec![i[3], i[4]], 25.0);
+        b.add_build_interaction(i[1], i[0], 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reinsertion_with_everything_relaxed_finds_the_optimum() {
+        let inst = instance();
+        let constraints = OrderConstraints::from_instance(&inst);
+        let bound = LowerBound::new(&inst);
+        let all: Vec<IndexId> = inst.index_ids().collect();
+        let result = reinsert(
+            &inst,
+            &constraints,
+            &bound,
+            &[],
+            &all,
+            f64::INFINITY,
+            u64::MAX,
+        );
+        assert!(result.proved);
+        let best = result.order.expect("some order must beat infinity");
+        // Compare against the CP optimum.
+        let cp = crate::exact::cp::CpSolver::with_config(crate::exact::cp::CpConfig::plain(
+            crate::budget::SearchBudget::unlimited(),
+        ))
+        .solve(&inst);
+        assert!((result.area - cp.objective).abs() < 1e-6);
+        assert!(Deployment::new(best).is_valid_for(&inst));
+    }
+
+    #[test]
+    fn reinsertion_respects_the_incumbent_bound() {
+        let inst = instance();
+        let constraints = OrderConstraints::from_instance(&inst);
+        let bound = LowerBound::new(&inst);
+        let eval = ObjectiveEvaluator::new(&inst);
+        let identity = Deployment::identity(5);
+        let incumbent = eval.evaluate_area(&identity);
+        // Relax nothing: the only completion is the incumbent itself, which
+        // is not strictly better, so no order is returned.
+        let result = reinsert(
+            &inst,
+            &constraints,
+            &bound,
+            identity.order(),
+            &[],
+            incumbent,
+            1000,
+        );
+        assert!(result.order.is_none());
+    }
+
+    #[test]
+    fn failure_limit_stops_the_search() {
+        let inst = instance();
+        let constraints = OrderConstraints::from_instance(&inst);
+        let bound = LowerBound::new(&inst);
+        let all: Vec<IndexId> = inst.index_ids().collect();
+        let result = reinsert(&inst, &constraints, &bound, &[], &all, 1e-9, 0);
+        // Nothing beats an incumbent of ~0, and the failure limit of zero is
+        // exceeded by the very first pruned node.
+        assert!(!result.proved);
+        assert!(result.order.is_none());
+    }
+
+    #[test]
+    fn swap_feasibility_respects_precedences() {
+        let mut b = ProblemInstance::builder("swap");
+        let i0 = b.add_index(1.0);
+        let i1 = b.add_index(1.0);
+        let i2 = b.add_index(1.0);
+        let q = b.add_query(10.0);
+        b.add_plan(q, vec![i0], 1.0);
+        b.add_precedence(i0, i2);
+        let inst = b.build().unwrap();
+        let constraints = OrderConstraints::from_instance(&inst);
+        let order = vec![i0, i1, i2];
+        assert!(swap_is_feasible(&constraints, &order, 1, 2)); // i1 <-> i2 fine
+        assert!(!swap_is_feasible(&constraints, &order, 0, 2)); // i2 before i0: no
+        assert!(swap_is_feasible(&constraints, &order, 0, 1)); // i1 before i0: fine
+        assert!(swap_is_feasible(&constraints, &order, 1, 1));
+    }
+}

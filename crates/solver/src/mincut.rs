@@ -1,0 +1,194 @@
+//! Stoer–Wagner global minimum cut.
+//!
+//! Used by the dynamic-programming baseline (Appendix C, Algorithm 2) to
+//! split the index set into two weakly interacting clusters at every level of
+//! the recursion. The implementation is the classic O(V³) minimum-cut-phase
+//! algorithm over a dense adjacency matrix, which is plenty for the ≤ few
+//! hundred indexes of our instances.
+
+/// Computes a global minimum cut of an undirected weighted graph given as a
+/// dense adjacency matrix (`weights[i][j]` = weight of edge `i–j`, 0 when
+/// absent). Returns `(cut_weight, side)` where `side` is the set of vertex
+/// ids on one side of the cut.
+///
+/// Degenerate inputs: an empty graph returns weight 0 and an empty side; a
+/// single vertex returns weight 0 with that vertex on the returned side.
+/// Disconnected graphs return a zero-weight cut separating components.
+pub fn stoer_wagner(weights: &[Vec<f64>]) -> (f64, Vec<usize>) {
+    let n = weights.len();
+    if n == 0 {
+        return (0.0, Vec::new());
+    }
+    if n == 1 {
+        return (0.0, vec![0]);
+    }
+
+    // Working copy of the weight matrix; `members[v]` tracks which original
+    // vertices have been merged into super-vertex v.
+    let mut w: Vec<Vec<f64>> = weights.to_vec();
+    let mut members: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best_weight = f64::INFINITY;
+    let mut best_side: Vec<usize> = Vec::new();
+
+    while active.len() > 1 {
+        // Minimum cut phase.
+        let mut in_a = vec![false; n];
+        let mut weights_to_a = vec![0.0_f64; n];
+        let start = active[0];
+        in_a[start] = true;
+        for &v in &active {
+            if v != start {
+                weights_to_a[v] = w[start][v];
+            }
+        }
+        let mut prev = start;
+        let mut last = start;
+        for _ in 1..active.len() {
+            // Most tightly connected vertex not yet in A.
+            let mut best = None;
+            let mut best_w = f64::NEG_INFINITY;
+            for &v in &active {
+                if !in_a[v] && weights_to_a[v] > best_w {
+                    best_w = weights_to_a[v];
+                    best = Some(v);
+                }
+            }
+            let v = best.expect("active set exhausted mid-phase");
+            prev = last;
+            last = v;
+            in_a[v] = true;
+            for &u in &active {
+                if !in_a[u] {
+                    weights_to_a[u] += w[v][u];
+                }
+            }
+        }
+
+        // Cut-of-the-phase: `last` alone against the rest.
+        let cut_weight = weights_to_a[last];
+        if cut_weight < best_weight {
+            best_weight = cut_weight;
+            best_side = members[last].clone();
+        }
+
+        // Merge `last` into `prev`.
+        let last_members = members[last].clone();
+        members[prev].extend(last_members);
+        for &u in &active {
+            if u != prev && u != last {
+                w[prev][u] += w[last][u];
+                w[u][prev] = w[prev][u];
+            }
+        }
+        active.retain(|&v| v != last);
+    }
+
+    best_side.sort_unstable();
+    (best_weight, best_side)
+}
+
+/// Splits vertex ids `0..n` into the min-cut side and its complement.
+pub fn min_cut_partition(weights: &[Vec<f64>]) -> (Vec<usize>, Vec<usize>) {
+    let n = weights.len();
+    let (_, side) = stoer_wagner(weights);
+    // Guard against degenerate outputs: both sides must be non-empty for the
+    // DP recursion to terminate.
+    if side.is_empty() || side.len() == n {
+        let half = (n / 2).max(1);
+        return ((0..half).collect(), (half..n).collect());
+    }
+    let in_side: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &x in &side {
+            v[x] = true;
+        }
+        v
+    };
+    let complement: Vec<usize> = (0..n).filter(|&x| !in_side[x]).collect();
+    (side, complement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, edges: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
+        let mut w = vec![vec![0.0; n]; n];
+        for &(a, b, wt) in edges {
+            w[a][b] += wt;
+            w[b][a] += wt;
+        }
+        w
+    }
+
+    #[test]
+    fn two_cliques_with_a_weak_bridge() {
+        // Vertices 0-2 and 3-5 are cliques (weight 10), bridged by weight 1.
+        let mut edges = vec![(2usize, 3usize, 1.0)];
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                edges.push((a, b, 10.0));
+                edges.push((a + 3, b + 3, 10.0));
+            }
+        }
+        let w = matrix(6, &edges);
+        let (weight, side) = stoer_wagner(&w);
+        assert!((weight - 1.0).abs() < 1e-9);
+        let mut side = side;
+        side.sort_unstable();
+        assert!(side == vec![0, 1, 2] || side == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn known_min_cut_on_the_wikipedia_example() {
+        // Classic 8-vertex Stoer–Wagner example with min cut 4.
+        let edges = [
+            (0, 1, 2.0),
+            (0, 4, 3.0),
+            (1, 2, 3.0),
+            (1, 4, 2.0),
+            (1, 5, 2.0),
+            (2, 3, 4.0),
+            (2, 6, 2.0),
+            (3, 6, 2.0),
+            (3, 7, 2.0),
+            (4, 5, 3.0),
+            (5, 6, 1.0),
+            (6, 7, 3.0),
+        ];
+        let w = matrix(8, &edges);
+        let (weight, _) = stoer_wagner(&w);
+        assert!((weight - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let w = matrix(4, &[(0, 1, 5.0), (2, 3, 7.0)]);
+        let (weight, side) = stoer_wagner(&w);
+        assert_eq!(weight, 0.0);
+        assert!(!side.is_empty() && side.len() < 4);
+    }
+
+    #[test]
+    fn partition_sides_are_complementary_and_nonempty() {
+        let w = matrix(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        let (a, b) = min_cut_partition(&w);
+        assert!(!a.is_empty() && !b.is_empty());
+        let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(stoer_wagner(&[]), (0.0, vec![]));
+        assert_eq!(stoer_wagner(&[vec![0.0]]), (0.0, vec![0]));
+        // All-zero weights: partition still splits.
+        let w = vec![vec![0.0; 3]; 3];
+        let (a, b) = min_cut_partition(&w);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert_eq!(a.len() + b.len(), 3);
+    }
+}

@@ -1,0 +1,14 @@
+//! Convenience re-exports of the solver toolbox.
+
+pub use crate::anytime::{Trajectory, TrajectoryPoint};
+pub use crate::budget::SearchBudget;
+pub use crate::constraints::OrderConstraints;
+pub use crate::dp::DpSolver;
+pub use crate::exact::{AStarConfig, AStarSolver, CpConfig, CpSolver, MipConfig, MipSolver};
+pub use crate::greedy::{GreedyConfig, GreedySolver};
+pub use crate::local::{
+    LnsConfig, LnsSolver, SwapStrategy, TabuConfig, TabuSolver, VnsConfig, VnsSolver,
+};
+pub use crate::properties::{analyze, AnalysisOptions, AnalysisReport};
+pub use crate::random::{RandomSolver, RandomSummary};
+pub use crate::result::{SolveOutcome, SolveResult};

@@ -1,0 +1,135 @@
+//! Alliance detection (Section 5.1, Appendix D.2).
+//!
+//! An *alliance* is a set of indexes that appear in query plans only as a
+//! complete group (no member ever appears in a plan without all the others)
+//! and whose members do not speed up the build of any outside index. Building
+//! only part of an alliance yields no query benefit, so some optimal solution
+//! builds the members consecutively — the search can glue them together.
+
+use idd_core::{IndexId, ProblemInstance};
+
+/// Detects alliance groups. Each returned group has at least two members.
+pub fn detect(instance: &ProblemInstance) -> Vec<Vec<IndexId>> {
+    let n = instance.num_indexes();
+
+    // Signature of an index: the sorted list of plans it participates in.
+    // Two indexes are allied when their signatures are identical and
+    // non-empty — then every plan containing one contains the other.
+    let mut groups: std::collections::HashMap<Vec<usize>, Vec<IndexId>> =
+        std::collections::HashMap::new();
+    for raw in 0..n {
+        let id = IndexId::new(raw);
+        let mut signature: Vec<usize> = instance
+            .plans_using_index(id)
+            .iter()
+            .map(|p| p.raw())
+            .collect();
+        if signature.is_empty() {
+            continue;
+        }
+        signature.sort_unstable();
+        groups.entry(signature).or_default().push(id);
+    }
+
+    let mut result: Vec<Vec<IndexId>> = groups
+        .into_values()
+        .filter(|members| members.len() >= 2)
+        // Members must not help building any outside index (Appendix D.2's
+        // "no external interactions for building cost improvements").
+        .filter(|members| {
+            members.iter().all(|&m| {
+                instance
+                    .helps(m)
+                    .iter()
+                    .all(|(target, _)| members.contains(target))
+            })
+        })
+        .collect();
+    for g in &mut result {
+        g.sort_unstable();
+    }
+    result.sort();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_example_finds_the_two_alliances() {
+        // Plans: {i0,i2}, {i0,i2,i4}, {i1,i4}, {i3,i5} — alliances are
+        // {i0,i2} and {i3,i5}; i1 and i4 are not allied because i4 appears
+        // without i1.
+        let mut b = ProblemInstance::builder("fig5");
+        let i: Vec<IndexId> = (0..6).map(|_| b.add_index(5.0)).collect();
+        let q0 = b.add_query(100.0);
+        b.add_plan(q0, vec![i[0], i[2]], 30.0);
+        b.add_plan(q0, vec![i[0], i[2], i[4]], 50.0);
+        let q1 = b.add_query(80.0);
+        b.add_plan(q1, vec![i[1], i[4]], 20.0);
+        let q2 = b.add_query(60.0);
+        b.add_plan(q2, vec![i[3], i[5]], 25.0);
+        let inst = b.build().unwrap();
+
+        let alliances = detect(&inst);
+        assert_eq!(alliances.len(), 2);
+        assert!(alliances.contains(&vec![i[0], i[2]]));
+        assert!(alliances.contains(&vec![i[3], i[5]]));
+    }
+
+    #[test]
+    fn index_with_solo_plan_is_not_allied() {
+        let mut b = ProblemInstance::builder("solo");
+        let i0 = b.add_index(1.0);
+        let i1 = b.add_index(1.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 20.0);
+        b.add_plan(q, vec![i0], 5.0); // i0 appears alone → not allied
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn external_build_helper_disqualifies_an_alliance() {
+        let mut b = ProblemInstance::builder("helper");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(4.0);
+        let i2 = b.add_index(4.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 20.0);
+        let q2 = b.add_query(30.0);
+        b.add_plan(q2, vec![i2], 5.0);
+        // i0 helps build the outside index i2 → the {i0,i1} alliance must not
+        // be glued (placing i0 early could matter for i2's build cost).
+        b.add_build_interaction(i2, i0, 2.0);
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn internal_build_interactions_are_allowed() {
+        let mut b = ProblemInstance::builder("internal");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(4.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 20.0);
+        b.add_build_interaction(i1, i0, 2.0); // inside the group: fine
+        let inst = b.build().unwrap();
+        assert_eq!(detect(&inst), vec![vec![i0, i1]]);
+    }
+
+    #[test]
+    fn unused_indexes_are_ignored() {
+        let mut b = ProblemInstance::builder("unused");
+        let _i0 = b.add_index(1.0);
+        let _i1 = b.add_index(1.0);
+        let q = b.add_query(5.0);
+        let i2 = b.add_index(1.0);
+        let i3 = b.add_index(1.0);
+        b.add_plan(q, vec![i2, i3], 2.0);
+        let inst = b.build().unwrap();
+        let alliances = detect(&inst);
+        assert_eq!(alliances, vec![vec![i2, i3]]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Colonized-index detection (Section 5.2, Appendix D.3).
+//!
+//! Index `i` is *colonized* by `j` when every plan using `i` also uses `j`
+//! (but not vice versa) and `i` does not speed up the build of any other
+//! index. Building `i` before its colonizer can never help any query, so some
+//! optimal solution builds the colonizer first: emit `j ≺ i`.
+
+use idd_core::{IndexId, ProblemInstance};
+
+/// Detects colonized pairs, returned as `(colonizer, colonized)` — the first
+/// element must be deployed before the second.
+pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
+    let n = instance.num_indexes();
+    let mut out = Vec::new();
+
+    for raw in 0..n {
+        let i = IndexId::new(raw);
+        let plans = instance.plans_using_index(i);
+        if plans.is_empty() {
+            continue;
+        }
+        // Appendix D.3: the colonized index must not speed up building others.
+        if !instance.helps(i).is_empty() {
+            continue;
+        }
+
+        // Intersection of all plans containing i (minus i itself).
+        let mut colonizers: Vec<IndexId> = instance.plan(plans[0]).indexes.clone();
+        colonizers.retain(|&x| x != i);
+        for &pid in &plans[1..] {
+            let plan = instance.plan(pid);
+            colonizers.retain(|x| plan.indexes.contains(x));
+        }
+
+        for &j in &colonizers {
+            // j must appear in some plan without i, otherwise they are allies
+            // (handled by the alliance detector) and no direction is implied.
+            let j_has_own_plan = instance
+                .plans_using_index(j)
+                .iter()
+                .any(|&pid| !instance.plan(pid).uses(i));
+            if j_has_own_plan {
+                out.push((j, i));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 6: i1 is colonized by i2 (appears with it in every plan), but
+    /// not by i3 or i4 (they appear in only some of i1's plans).
+    fn figure6_instance() -> (ProblemInstance, Vec<IndexId>) {
+        let mut b = ProblemInstance::builder("fig6");
+        let i: Vec<IndexId> = (0..4).map(|_| b.add_index(3.0)).collect();
+        let q0 = b.add_query(100.0);
+        b.add_plan(q0, vec![i[0], i[1], i[2]], 40.0); // i1 with i2(=colonizer) and i3
+        b.add_plan(q0, vec![i[0], i[1], i[3]], 35.0); // i1 with i2 and i4
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![i[1]], 10.0); // i2 alone
+        (b.build().unwrap(), i)
+    }
+
+    #[test]
+    fn figure6_detects_only_the_true_colonizer() {
+        let (inst, i) = figure6_instance();
+        let pairs = detect(&inst);
+        // i0 (paper's i1) is colonized by i1 (paper's i2).
+        assert!(pairs.contains(&(i[1], i[0])));
+        // Not by i2 or i3.
+        assert!(!pairs.contains(&(i[2], i[0])));
+        assert!(!pairs.contains(&(i[3], i[0])));
+    }
+
+    #[test]
+    fn mutual_containment_is_not_colonization() {
+        // {i0,i1} always together: an alliance, not a colonization.
+        let mut b = ProblemInstance::builder("mutual");
+        let i0 = b.add_index(1.0);
+        let i1 = b.add_index(1.0);
+        let q = b.add_query(30.0);
+        b.add_plan(q, vec![i0, i1], 10.0);
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn build_helper_is_never_reported_as_colonized() {
+        let mut b = ProblemInstance::builder("helper");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(4.0);
+        let i2 = b.add_index(4.0);
+        let q = b.add_query(60.0);
+        b.add_plan(q, vec![i0, i1], 20.0);
+        b.add_plan(q, vec![i1], 5.0);
+        // i0 would be colonized by i1, but i0 helps build i2 → skip.
+        b.add_build_interaction(i2, i0, 1.0);
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).iter().all(|&(_, colonized)| colonized != i0));
+    }
+
+    #[test]
+    fn multiple_colonizers_all_reported() {
+        let mut b = ProblemInstance::builder("multi");
+        let i0 = b.add_index(1.0);
+        let i1 = b.add_index(1.0);
+        let i2 = b.add_index(1.0);
+        let q = b.add_query(80.0);
+        b.add_plan(q, vec![i0, i1, i2], 30.0);
+        b.add_plan(q, vec![i1, i2], 10.0);
+        b.add_plan(q, vec![i1], 4.0);
+        b.add_plan(q, vec![i2], 4.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert!(pairs.contains(&(i1, i0)));
+        assert!(pairs.contains(&(i2, i0)));
+    }
+}

@@ -1,0 +1,203 @@
+//! Disjoint-index detection (Section 5.4, Appendix D.5).
+//!
+//! A *disjoint* index has no interaction whatsoever with other indexes: it
+//! only appears in single-index plans, no other index speeds up the same
+//! queries, and it takes part in no build interaction. For two disjoint
+//! indexes the optimal relative order is fully determined by *density*
+//! (benefit divided by build cost): the denser one comes first.
+//!
+//! The backward-/forward-disjoint generalization of the paper (which uses the
+//! already-derived constraints to treat almost-disjoint indexes as disjoint
+//! over a sub-range) is not implemented; the plain disjoint rule already
+//! provides most of the pruning on the low-density instances where it is
+//! used (Tables 5 and 6).
+
+use idd_core::{IndexId, ProblemInstance};
+
+/// `true` when the index has no query or build interaction with any other
+/// index.
+fn is_disjoint(instance: &ProblemInstance, index: IndexId) -> bool {
+    // No build interactions in either direction.
+    if !instance.helpers_of(index).is_empty() || !instance.helps(index).is_empty() {
+        return false;
+    }
+    let plans = instance.plans_using_index(index);
+    // An index that serves no plan at all interacts with nothing: it is
+    // disjoint with density zero (it will be ordered last among the disjoint
+    // indexes).
+    if plans.is_empty() {
+        return true;
+    }
+    for &pid in plans {
+        let plan = instance.plan(pid);
+        // Only single-index plans.
+        if plan.width() != 1 {
+            return false;
+        }
+        // No other index competes on the same query.
+        let q = plan.query;
+        let someone_else = instance
+            .plans_of_query(q)
+            .iter()
+            .any(|&other| instance.plan(other).indexes.iter().any(|&i| i != index));
+        if someone_else {
+            return false;
+        }
+    }
+    true
+}
+
+/// Stand-alone benefit of a disjoint index: the sum of its plans' speed-ups
+/// (at most one per query; the best is used defensively).
+fn benefit(instance: &ProblemInstance, index: IndexId) -> f64 {
+    instance
+        .query_ids()
+        .map(|q| {
+            instance
+                .plans_of_query(q)
+                .iter()
+                .filter(|&&p| instance.plan(p).uses(index))
+                .map(|&p| instance.plan_speedup(p))
+                .fold(0.0_f64, f64::max)
+        })
+        .sum()
+}
+
+/// Detects density orderings among disjoint indexes, returned as
+/// `(denser, sparser)` pairs — the denser index precedes the sparser one.
+pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
+    let n = instance.num_indexes();
+    let disjoint: Vec<IndexId> = (0..n)
+        .map(IndexId::new)
+        .filter(|&i| is_disjoint(instance, i))
+        .collect();
+
+    let density: Vec<(IndexId, f64)> = disjoint
+        .iter()
+        .map(|&i| {
+            let cost = instance.creation_cost(i).max(1e-12);
+            (i, benefit(instance, i) / cost)
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (ai, &(a, da)) in density.iter().enumerate() {
+        for &(b, db) in density.iter().skip(ai + 1) {
+            if da > db + 1e-12 {
+                out.push((a, b));
+            } else if db > da + 1e-12 {
+                out.push((b, a));
+            } else {
+                // Equal densities: swapping two disjoint equal-density
+                // indexes never changes the objective, so fixing the
+                // id order keeps an optimal solution while removing the
+                // symmetric permutations from the search space.
+                out.push((a.min(b), a.max(b)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_indexes_are_ordered_by_density() {
+        let mut b = ProblemInstance::builder("disjoint");
+        let dense = b.add_index(2.0); // 10/2 = 5
+        let sparse = b.add_index(5.0); // 10/5 = 2
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![dense], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![sparse], 10.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert_eq!(pairs, vec![(dense, sparse)]);
+    }
+
+    #[test]
+    fn shared_query_breaks_disjointness() {
+        let mut b = ProblemInstance::builder("shared");
+        let a = b.add_index(2.0);
+        let c = b.add_index(5.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![a], 10.0);
+        b.add_plan(q0, vec![c], 12.0); // competes on the same query
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn build_interaction_breaks_disjointness() {
+        let mut b = ProblemInstance::builder("build");
+        let a = b.add_index(2.0);
+        let c = b.add_index(5.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![a], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![c], 10.0);
+        b.add_build_interaction(a, c, 1.0);
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn multi_index_plan_breaks_disjointness() {
+        let mut b = ProblemInstance::builder("multi");
+        let a = b.add_index(2.0);
+        let c = b.add_index(5.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![a, c], 10.0);
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn equal_density_is_broken_by_canonical_id_order() {
+        // Swapping two equal-density disjoint indexes cannot change the
+        // objective, so the detector pins the id order to remove the
+        // symmetric permutations.
+        let mut b = ProblemInstance::builder("equal");
+        let a = b.add_index(2.0);
+        let c = b.add_index(2.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![a], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![c], 10.0);
+        let inst = b.build().unwrap();
+        assert_eq!(detect(&inst), vec![(a, c)]);
+    }
+
+    #[test]
+    fn indexes_without_plans_are_ordered_last_and_canonically() {
+        let mut b = ProblemInstance::builder("deadweight");
+        let useful = b.add_index(2.0);
+        let dead1 = b.add_index(3.0);
+        let dead2 = b.add_index(4.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![useful], 10.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert!(pairs.contains(&(useful, dead1)));
+        assert!(pairs.contains(&(useful, dead2)));
+        assert!(pairs.contains(&(dead1, dead2)));
+    }
+
+    #[test]
+    fn three_disjoint_indexes_get_a_total_order() {
+        let mut b = ProblemInstance::builder("three");
+        let ids: Vec<IndexId> = [1.0, 2.0, 4.0].iter().map(|&c| b.add_index(c)).collect();
+        for (k, &i) in ids.iter().enumerate() {
+            let q = b.add_query(50.0);
+            b.add_plan(q, vec![i], 8.0 - k as f64); // decreasing benefit, increasing cost
+        }
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(ids[0], ids[1])));
+        assert!(pairs.contains(&(ids[0], ids[2])));
+        assert!(pairs.contains(&(ids[1], ids[2])));
+    }
+}

@@ -1,0 +1,235 @@
+//! Dominated-index detection (Section 5.3, Appendix D.4).
+//!
+//! Index `i` is *dominated* by `k` when building `k` is always at least as
+//! beneficial and at least as cheap as building `i`, no matter what else has
+//! been built; the objective then prefers `k` first, so we may add `k ≺ i`.
+//!
+//! The full conditions of Appendix D.4 involve every possible interleaving;
+//! we implement a conservative (sound) subset: the comparison is only made
+//! when `i` never co-occurs with other indexes in a plan (so building `i`
+//! cannot change any other index's marginal benefit) and `k` receives no
+//! build help (so its creation cost is the same wherever it is placed).
+//! Under those conditions the checks reduce to comparing `i`'s best-case
+//! benefit with `k`'s worst-case benefit, their build costs, and their
+//! helpfulness to others.
+
+use idd_core::{IndexId, ProblemInstance};
+
+/// Best-case total benefit of an index: for each query, the speed-up of the
+/// best plan containing the index (an upper bound on its marginal benefit).
+fn max_benefit(instance: &ProblemInstance, index: IndexId) -> f64 {
+    instance
+        .query_ids()
+        .map(|q| {
+            instance
+                .plans_of_query(q)
+                .iter()
+                .filter(|&&p| instance.plan(p).uses(index))
+                .map(|&p| instance.plan_speedup(p))
+                .fold(0.0_f64, f64::max)
+        })
+        .sum()
+}
+
+/// Worst-case (guaranteed) total benefit of an index: for each query, the
+/// speed-up of the index's best *single-index* plan minus the best plan not
+/// containing it.
+///
+/// This is a valid lower bound on the index's marginal benefit in *any*
+/// context: whatever is already built, adding the index makes at least its
+/// singleton plan available, while the competing plans can never be better
+/// than the query's best index-free-of-`index` plan. Multi-index plans
+/// containing the index must not be counted here — they may be unavailable in
+/// the context where the marginal benefit is smallest.
+fn min_benefit(instance: &ProblemInstance, index: IndexId) -> f64 {
+    instance
+        .query_ids()
+        .map(|q| {
+            let with_singleton = instance
+                .plans_of_query(q)
+                .iter()
+                .filter(|&&p| {
+                    let plan = instance.plan(p);
+                    plan.width() == 1 && plan.uses(index)
+                })
+                .map(|&p| instance.plan_speedup(p))
+                .fold(0.0_f64, f64::max);
+            let without = instance
+                .plans_of_query(q)
+                .iter()
+                .filter(|&&p| !instance.plan(p).uses(index))
+                .map(|&p| instance.plan_speedup(p))
+                .fold(0.0_f64, f64::max);
+            (with_singleton - without).max(0.0)
+        })
+        .sum()
+}
+
+/// `true` when the index appears only in single-index plans.
+fn singleton_only(instance: &ProblemInstance, index: IndexId) -> bool {
+    instance
+        .plans_using_index(index)
+        .iter()
+        .all(|&p| instance.plan(p).width() == 1)
+}
+
+/// Detects dominated pairs, returned as `(dominator, dominated)` — the first
+/// element may always be deployed before the second.
+pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
+    let n = instance.num_indexes();
+    let max_b: Vec<f64> = (0..n)
+        .map(|i| max_benefit(instance, IndexId::new(i)))
+        .collect();
+    let min_b: Vec<f64> = (0..n)
+        .map(|i| min_benefit(instance, IndexId::new(i)))
+        .collect();
+
+    let mut out = Vec::new();
+    for i_raw in 0..n {
+        let i = IndexId::new(i_raw);
+        if !singleton_only(instance, i) {
+            continue;
+        }
+        for k_raw in 0..n {
+            if i_raw == k_raw {
+                continue;
+            }
+            let k = IndexId::new(k_raw);
+            // (5) k's build cost must not depend on placement.
+            if !instance.helpers_of(k).is_empty() {
+                continue;
+            }
+            // (1) k's worst case beats i's best case.
+            if max_b[i_raw] > min_b[k_raw] + 1e-12 {
+                continue;
+            }
+            // (2) k is never more expensive to build than i can ever be.
+            if instance.min_build_cost(i) + 1e-12 < instance.creation_cost(k) {
+                continue;
+            }
+            // (3) i never helps another index's build more than k does.
+            let i_helps_more = instance.helps(i).iter().any(|&(target, saving)| {
+                saving > instance.build_speedup(target, k) + 1e-12
+            });
+            if i_helps_more {
+                continue;
+            }
+            // Tie-break to avoid emitting both directions when the two
+            // indexes are completely symmetric.
+            if max_b[k_raw] <= min_b[i_raw] + 1e-12
+                && (instance.creation_cost(i) - instance.creation_cost(k)).abs() < 1e-12
+                && k_raw > i_raw
+            {
+                continue;
+            }
+            out.push((k, i));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 7: i1's benefit is 1–4 s, i2's is always 5 s; equal costs.
+    /// i2 dominates i1.
+    fn figure7_instance() -> (ProblemInstance, IndexId, IndexId, IndexId) {
+        let mut b = ProblemInstance::builder("fig7");
+        let i1 = b.add_index(4.0);
+        let i2 = b.add_index(4.0);
+        let i3 = b.add_index(4.0);
+        let qa = b.add_query(50.0);
+        // i1 alone: 1s; i1 with i3: 5s total (so i1's max marginal is 4s when
+        // i3 exists — modelled here as competing plans of the same query).
+        b.add_plan(qa, vec![i1], 1.0);
+        b.add_plan(qa, vec![i3], 3.0);
+        b.add_plan(qa, vec![i1, i3], 5.0);
+        let qb = b.add_query(40.0);
+        b.add_plan(qb, vec![i2], 5.0);
+        (b.build().unwrap(), i1, i2, i3)
+    }
+
+    #[test]
+    fn figure7_dominance_is_found() {
+        let (inst, i1, i2, _i3) = figure7_instance();
+        // i1 appears in a multi-index plan, so the conservative detector
+        // requires singleton-only — rebuild a variant where i1 is singleton
+        // but weak, to exercise the rule directly.
+        let _ = inst;
+        let mut b = ProblemInstance::builder("dom");
+        let weak = b.add_index(4.0);
+        let strong = b.add_index(4.0);
+        let qa = b.add_query(50.0);
+        b.add_plan(qa, vec![weak], 2.0);
+        let qb = b.add_query(40.0);
+        b.add_plan(qb, vec![strong], 5.0);
+        let inst2 = b.build().unwrap();
+        let pairs = detect(&inst2);
+        assert!(pairs.contains(&(strong, weak)), "pairs: {pairs:?}");
+        assert!(!pairs.contains(&(weak, strong)));
+        let _ = (i1, i2);
+    }
+
+    #[test]
+    fn multi_index_plan_membership_blocks_the_rule() {
+        let (inst, i1, i2, _) = figure7_instance();
+        let pairs = detect(&inst);
+        // i1 participates in a 2-index plan, so the conservative rule must
+        // not claim it is dominated.
+        assert!(!pairs.iter().any(|&(_, dominated)| dominated == i1));
+        let _ = i2;
+    }
+
+    #[test]
+    fn cheaper_but_weaker_index_is_not_dominated() {
+        let mut b = ProblemInstance::builder("cheap");
+        let cheap_weak = b.add_index(1.0); // tiny cost, small benefit
+        let costly_strong = b.add_index(50.0); // big cost, big benefit
+        let qa = b.add_query(100.0);
+        b.add_plan(qa, vec![cheap_weak], 3.0);
+        let qb = b.add_query(100.0);
+        b.add_plan(qb, vec![costly_strong], 60.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        // The strong index is much more beneficial but also much more
+        // expensive: condition (2) fails, no domination either way.
+        assert!(pairs.is_empty(), "pairs: {pairs:?}");
+    }
+
+    #[test]
+    fn dominator_with_build_helpers_is_skipped() {
+        let mut b = ProblemInstance::builder("helped");
+        let weak = b.add_index(4.0);
+        let strong = b.add_index(4.0);
+        let other = b.add_index(4.0);
+        let qa = b.add_query(50.0);
+        b.add_plan(qa, vec![weak], 2.0);
+        let qb = b.add_query(40.0);
+        b.add_plan(qb, vec![strong], 5.0);
+        let qc = b.add_query(40.0);
+        b.add_plan(qc, vec![other], 5.0);
+        // strong's build cost depends on whether `other` exists → unsafe.
+        b.add_build_interaction(strong, other, 2.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert!(!pairs.iter().any(|&(dominator, _)| dominator == strong));
+    }
+
+    #[test]
+    fn symmetric_indexes_do_not_create_a_cycle() {
+        let mut b = ProblemInstance::builder("sym");
+        let a = b.add_index(4.0);
+        let c = b.add_index(4.0);
+        let qa = b.add_query(50.0);
+        b.add_plan(qa, vec![a], 5.0);
+        let qb = b.add_query(50.0);
+        b.add_plan(qb, vec![c], 5.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert!(
+            !(pairs.contains(&(a, c)) && pairs.contains(&(c, a))),
+            "both directions emitted: {pairs:?}"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Solver reports.
+
+use crate::anytime::Trajectory;
+use idd_core::Deployment;
+use serde::{Deserialize, Serialize};
+
+/// How a solver run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveOutcome {
+    /// The solver proved the returned deployment optimal.
+    Optimal,
+    /// The solver stopped at its time/node budget with the best solution
+    /// found so far (the paper's "no optimality proof").
+    Feasible,
+    /// The solver exhausted its budget without finding any feasible solution
+    /// (the paper's "DF" — did not finish).
+    DidNotFinish,
+}
+
+impl SolveOutcome {
+    /// Short label used in the experiment tables (`"opt"`, `"feas"`, `"DF"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolveOutcome::Optimal => "opt",
+            SolveOutcome::Feasible => "feas",
+            SolveOutcome::DidNotFinish => "DF",
+        }
+    }
+}
+
+/// The result of one solver run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// Name of the solver ("greedy", "cp", "cp+", "vns", ...).
+    pub solver: String,
+    /// Best deployment found, if any.
+    pub deployment: Option<Deployment>,
+    /// Objective area of `deployment`.
+    pub objective: f64,
+    /// How the run ended.
+    pub outcome: SolveOutcome,
+    /// Wall-clock seconds spent.
+    pub elapsed_seconds: f64,
+    /// Number of search nodes / iterations explored (meaning is
+    /// solver-specific; 0 for constructive heuristics).
+    pub nodes: u64,
+    /// Objective-vs-time trajectory of the incumbent (empty for constructive
+    /// heuristics).
+    pub trajectory: Trajectory,
+}
+
+impl SolveResult {
+    /// A result for a constructive heuristic that produced `deployment`.
+    pub fn heuristic(
+        solver: impl Into<String>,
+        deployment: Deployment,
+        objective: f64,
+        elapsed_seconds: f64,
+    ) -> Self {
+        Self {
+            solver: solver.into(),
+            deployment: Some(deployment),
+            objective,
+            outcome: SolveOutcome::Feasible,
+            elapsed_seconds,
+            nodes: 0,
+            trajectory: Trajectory::new(),
+        }
+    }
+
+    /// A "did not finish" result.
+    pub fn did_not_finish(solver: impl Into<String>, elapsed_seconds: f64, nodes: u64) -> Self {
+        Self {
+            solver: solver.into(),
+            deployment: None,
+            objective: f64::INFINITY,
+            outcome: SolveOutcome::DidNotFinish,
+            elapsed_seconds,
+            nodes,
+            trajectory: Trajectory::new(),
+        }
+    }
+
+    /// `true` when the solver found at least one feasible deployment.
+    pub fn is_feasible(&self) -> bool {
+        self.deployment.is_some()
+    }
+
+    /// `true` when the deployment was proved optimal.
+    pub fn is_optimal(&self) -> bool {
+        self.outcome == SolveOutcome::Optimal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_labels() {
+        assert_eq!(SolveOutcome::Optimal.label(), "opt");
+        assert_eq!(SolveOutcome::Feasible.label(), "feas");
+        assert_eq!(SolveOutcome::DidNotFinish.label(), "DF");
+    }
+
+    #[test]
+    fn heuristic_result_is_feasible_not_optimal() {
+        let r = SolveResult::heuristic("greedy", Deployment::from_raw([0, 1]), 12.0, 0.001);
+        assert!(r.is_feasible());
+        assert!(!r.is_optimal());
+        assert_eq!(r.objective, 12.0);
+    }
+
+    #[test]
+    fn dnf_result_has_no_deployment() {
+        let r = SolveResult::did_not_finish("mip", 10.0, 1234);
+        assert!(!r.is_feasible());
+        assert_eq!(r.outcome, SolveOutcome::DidNotFinish);
+        assert!(r.objective.is_infinite());
+    }
+}

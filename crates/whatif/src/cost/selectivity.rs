@@ -1,0 +1,127 @@
+//! Selectivity estimation under the usual independence assumption.
+
+use crate::catalog::Catalog;
+use crate::query::{Predicate, PredicateKind, QuerySpec};
+
+/// Selectivity of a single predicate, looked up against catalog statistics.
+///
+/// * Equality: `1 / NDV` of the column.
+/// * Range: the fraction recorded on the predicate.
+/// * IN-list of `k` values: `k / NDV`, capped at 1.
+///
+/// Unknown columns fall back to a conservative 10% selectivity so a partially
+/// described workload still costs out sensibly.
+pub fn predicate_selectivity(catalog: &Catalog, predicate: &Predicate) -> f64 {
+    let ndv = catalog
+        .table(&predicate.column.table)
+        .and_then(|t| t.column(&predicate.column.column))
+        .map(|c| c.distinct_values)
+        .unwrap_or(10.0);
+    let sel = match predicate.kind {
+        PredicateKind::Equality => 1.0 / ndv,
+        PredicateKind::Range => predicate.parameter,
+        PredicateKind::InList => predicate.parameter / ndv,
+    };
+    sel.clamp(1e-9, 1.0)
+}
+
+/// Combined selectivity of all of a query's predicates on one table
+/// (independence assumption: the product of individual selectivities).
+pub fn table_selectivity(catalog: &Catalog, query: &QuerySpec, table: &str) -> f64 {
+    query
+        .predicates_on(table)
+        .iter()
+        .map(|p| predicate_selectivity(catalog, p))
+        .product::<f64>()
+        .clamp(1e-9, 1.0)
+}
+
+/// Combined selectivity of the subset of a table's predicates whose columns
+/// appear in `columns` (used for the sargable prefix of an index).
+pub fn selectivity_of_columns(
+    catalog: &Catalog,
+    query: &QuerySpec,
+    table: &str,
+    columns: &[String],
+) -> f64 {
+    query
+        .predicates_on(table)
+        .iter()
+        .filter(|p| columns.contains(&p.column.column))
+        .map(|p| predicate_selectivity(catalog, p))
+        .product::<f64>()
+        .clamp(1e-9, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Column, Table};
+    use crate::query::ColumnRef;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(Table::new(
+            "PEOPLE",
+            10_000.0,
+            vec![
+                Column::string("CITY", 16.0, 100.0),
+                Column::new("SALARY", 8.0, 1_000.0),
+                Column::new("AGE", 4.0, 80.0),
+            ],
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn equality_is_one_over_ndv() {
+        let cat = catalog();
+        let p = Predicate::equality(ColumnRef::new("PEOPLE", "CITY"));
+        assert!((predicate_selectivity(&cat, &p) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_uses_recorded_fraction() {
+        let cat = catalog();
+        let p = Predicate::range(ColumnRef::new("PEOPLE", "AGE"), 0.25);
+        assert_eq!(predicate_selectivity(&cat, &p), 0.25);
+    }
+
+    #[test]
+    fn in_list_scales_with_k() {
+        let cat = catalog();
+        let p = Predicate::in_list(ColumnRef::new("PEOPLE", "CITY"), 5);
+        assert!((predicate_selectivity(&cat, &p) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_column_falls_back() {
+        let cat = catalog();
+        let p = Predicate::equality(ColumnRef::new("PEOPLE", "NOPE"));
+        assert!((predicate_selectivity(&cat, &p) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_selectivity_multiplies_predicates() {
+        let cat = catalog();
+        let q = QuerySpec::new("q", "PEOPLE")
+            .filter(Predicate::equality(ColumnRef::new("PEOPLE", "CITY")))
+            .filter(Predicate::range(ColumnRef::new("PEOPLE", "AGE"), 0.5));
+        assert!((table_selectivity(&cat, &q, "PEOPLE") - 0.005).abs() < 1e-12);
+        // Other tables are unfiltered.
+        assert_eq!(table_selectivity(&cat, &q, "OTHER"), 1.0);
+    }
+
+    #[test]
+    fn column_restricted_selectivity() {
+        let cat = catalog();
+        let q = QuerySpec::new("q", "PEOPLE")
+            .filter(Predicate::equality(ColumnRef::new("PEOPLE", "CITY")))
+            .filter(Predicate::range(ColumnRef::new("PEOPLE", "AGE"), 0.5));
+        let s = selectivity_of_columns(&cat, &q, "PEOPLE", &["CITY".to_string()]);
+        assert!((s - 0.01).abs() < 1e-12);
+        let s_none = selectivity_of_columns(&cat, &q, "PEOPLE", &["SALARY".to_string()]);
+        assert_eq!(s_none, 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the what-if substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `idd-whatif`.
+pub type Result<T> = std::result::Result<T, WhatIfError>;
+
+/// Errors raised while describing schemas, workloads or extracting problem
+/// instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhatIfError {
+    /// A query or index refers to a table not present in the catalog.
+    UnknownTable(String),
+    /// A query or index refers to a column not present on its table.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A table was added twice to a catalog.
+    DuplicateTable(String),
+    /// A column was added twice to a table.
+    DuplicateColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// An index has no key columns.
+    EmptyIndex(String),
+    /// The workload has no queries.
+    EmptyWorkload,
+    /// Converting the extraction output into a core `ProblemInstance` failed.
+    Core(String),
+}
+
+impl fmt::Display for WhatIfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhatIfError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            WhatIfError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{table}.{column}`")
+            }
+            WhatIfError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            WhatIfError::DuplicateColumn { table, column } => {
+                write!(f, "column `{table}.{column}` already exists")
+            }
+            WhatIfError::EmptyIndex(name) => write!(f, "index `{name}` has no key columns"),
+            WhatIfError::EmptyWorkload => write!(f, "workload contains no queries"),
+            WhatIfError::Core(msg) => write!(f, "failed to build problem instance: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WhatIfError {}
+
+impl From<idd_core::CoreError> for WhatIfError {
+    fn from(e: idd_core::CoreError) -> Self {
+        WhatIfError::Core(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WhatIfError::UnknownColumn {
+            table: "CUSTOMER".into(),
+            column: "COUNTRY".into(),
+        };
+        assert!(e.to_string().contains("CUSTOMER.COUNTRY"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let core_err = idd_core::CoreError::EmptyInstance;
+        let e: WhatIfError = core_err.into();
+        assert!(matches!(e, WhatIfError::Core(_)));
+    }
+}

@@ -1,0 +1,5 @@
+//! Convenience re-exports of the workload generators.
+
+pub use crate::calibration::{CalibrationReport, PaperTargets};
+pub use crate::synthetic::{generate as generate_synthetic, SyntheticConfig, SyntheticGenerator};
+pub use crate::{instance_with_budget, tpcds_instance, tpch_instance};

@@ -1,0 +1,132 @@
+//! Building a problem instance by hand and comparing every solver on it.
+//!
+//! Sometimes the benefit matrix does not come from this crate's what-if
+//! substrate at all — a DBA might export plan costs from a real DBMS's
+//! what-if interface. This example shows the low-level `idd-core` builder API
+//! (indexes, plans, build interactions, precedences) and then runs the full
+//! solver toolbox on the instance, including an exact CP proof, so the
+//! heuristics can be judged against the true optimum. The instance is also
+//! saved to / reloaded from a matrix file, mirroring the paper's Figure 3
+//! pipeline.
+//!
+//! Run with `cargo run --release --example custom_workload`.
+
+use idd::prelude::*;
+
+fn build_instance() -> idd::core::ProblemInstance {
+    let mut b = idd::core::ProblemInstance::builder("hand-made");
+
+    // Candidate indexes with their measured creation costs (seconds).
+    let ix_country = b.add_named_index("ix_customer_country", 340.0);
+    let ix_country_cov = b.add_named_index("ix_customer_country_incl_balance", 520.0);
+    let ix_orders_date = b.add_named_index("ix_orders_date", 460.0);
+    let ix_orders_cust = b.add_named_index("ix_orders_custkey", 420.0);
+    let ix_lineitem_part = b.add_named_index("ix_lineitem_partkey", 900.0);
+    let mv_sales_cl = b.add_named_index("mv_daily_sales_clustered", 1_500.0);
+    let mv_sales_by_reg = b.add_named_index("mv_daily_sales_by_region", 380.0);
+
+    // Workload queries with their current runtimes (seconds).
+    let q_rollup = b.add_named_query("country_rollup", 900.0);
+    let q_recent = b.add_named_query("recent_orders", 600.0);
+    let q_parts = b.add_named_query("part_movement", 1_100.0);
+    let q_daily = b.add_named_query("daily_dashboard", 750.0);
+
+    // What-if measurements: which index sets speed up which query, by how much.
+    b.add_plan(q_rollup, vec![ix_country], 250.0);
+    b.add_plan(q_rollup, vec![ix_country_cov], 610.0);
+    b.add_plan(q_rollup, vec![ix_country, ix_orders_cust], 480.0);
+    b.add_plan(q_recent, vec![ix_orders_date], 380.0);
+    b.add_plan(q_recent, vec![ix_orders_date, ix_orders_cust], 470.0);
+    b.add_plan(q_parts, vec![ix_lineitem_part], 520.0);
+    b.add_plan(q_parts, vec![ix_lineitem_part, ix_orders_date], 700.0);
+    b.add_plan(q_daily, vec![mv_sales_cl], 600.0);
+    b.add_plan(q_daily, vec![mv_sales_cl, mv_sales_by_reg], 720.0);
+
+    // Build interactions: the covering country index can be built by scanning
+    // the narrow one (and vice versa), the MV secondary scans the MV.
+    b.add_build_interaction(ix_country, ix_country_cov, 260.0);
+    b.add_build_interaction(ix_country_cov, ix_country, 120.0);
+    b.add_build_interaction(ix_orders_cust, ix_orders_date, 90.0);
+    b.add_build_interaction(mv_sales_by_reg, mv_sales_cl, 300.0);
+
+    // Hard precedence: the materialized view's clustered index must exist
+    // before its secondary index can be created.
+    b.add_precedence(mv_sales_cl, mv_sales_by_reg);
+
+    b.build().expect("hand-made instance is consistent")
+}
+
+fn main() {
+    let instance = build_instance();
+
+    // Round-trip through the matrix-file format (Figure 3's hand-off).
+    let path = std::env::temp_dir().join("idd_custom_workload.json");
+    MatrixFile::new(instance.clone(), "custom_workload example")
+        .save(&path)
+        .expect("matrix file written");
+    let instance = MatrixFile::load(&path).expect("matrix file read back").instance;
+    println!("{}", MatrixFile::new(instance.clone(), "reload").summary());
+
+    let evaluator = ObjectiveEvaluator::new(&instance);
+    let greedy = GreedySolver::new().construct(&instance);
+
+    let mut results: Vec<(String, f64, String)> = Vec::new();
+
+    let greedy_area = evaluator.evaluate_area(&greedy);
+    results.push(("greedy".into(), greedy_area, greedy.arrow_notation()));
+
+    let dp = DpSolver::new().construct(&instance);
+    results.push(("dp".into(), evaluator.evaluate_area(&dp), dp.arrow_notation()));
+
+    let random = RandomSolver::new(7).summarize(&instance, 100);
+    results.push((
+        "best of 100 random".into(),
+        random.minimum,
+        random.best.arrow_notation(),
+    ));
+
+    for (name, result) in [
+        (
+            "tabu (best swap)",
+            TabuSolver::new(SwapStrategy::Best, SearchBudget::seconds(1.0))
+                .solve(&instance, greedy.clone()),
+        ),
+        (
+            "lns",
+            LnsSolver::new(SearchBudget::seconds(1.0)).solve(&instance, greedy.clone()),
+        ),
+        (
+            "vns",
+            VnsSolver::new(SearchBudget::seconds(1.0)).solve(&instance, greedy.clone()),
+        ),
+    ] {
+        let d = result.deployment.expect("local search returns a deployment");
+        results.push((name.into(), result.objective, d.arrow_notation()));
+    }
+
+    // Exact optimum with proof (7 indexes: instant).
+    let cp = CpSolver::with_config(CpConfig::with_properties(SearchBudget::seconds(30.0)))
+        .solve(&instance);
+    let optimal = cp.objective;
+    results.push((
+        format!("cp+ ({})", cp.outcome.label()),
+        cp.objective,
+        cp.deployment.as_ref().unwrap().arrow_notation(),
+    ));
+
+    println!(
+        "{:<20} {:>12} {:>10}  {}",
+        "solver", "objective", "gap", "order"
+    );
+    for (name, objective, order) in &results {
+        println!(
+            "{:<20} {:>12.0} {:>9.1}%  {}",
+            name,
+            objective,
+            100.0 * (objective - optimal) / optimal,
+            order
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,88 @@
+//! Real-time recovery (paper Section 1.1): a node of a distributed warehouse
+//! fails and the indexes it hosted are gone. The DBA must rebuild them, and
+//! the rebuild *order* decides how quickly the reporting workload recovers.
+//!
+//! This example loads the TPC-DS-like design, pretends a subset of its
+//! indexes was lost, and compares three rebuild orders: the advisor's listing
+//! order, the interaction-guided greedy, and greedy + VNS.
+//!
+//! Run with `cargo run --release --example recovery`.
+
+use idd::core::reduce::{reduce, Density, ReduceOptions};
+use idd::prelude::*;
+
+fn main() {
+    // The full design the warehouse ran before the failure.
+    let full = idd::workloads::tpcds_instance().expect("TPC-DS-like extraction");
+    println!(
+        "warehouse design: {} indexes serving {} queries",
+        full.num_indexes(),
+        full.num_queries()
+    );
+
+    // The failed node hosted the 40 most beneficial indexes — exactly the
+    // ones whose absence hurts the most. Restricting the instance to them
+    // gives the recovery problem: all other indexes still exist, so their
+    // plans keep working and are irrelevant to the rebuild schedule.
+    let lost = reduce(
+        &full,
+        ReduceOptions {
+            density: Density::Full,
+            max_indexes: Some(40),
+        },
+    )
+    .expect("reduction succeeds");
+    println!(
+        "lost on the failed node: {} indexes ({} plans depend on them)\n",
+        lost.num_indexes(),
+        lost.num_plans()
+    );
+
+    let evaluator = ObjectiveEvaluator::new(&lost);
+    let listing_order = Deployment::identity(lost.num_indexes());
+    let greedy = GreedySolver::new().construct(&lost);
+    let vns = VnsSolver::new(SearchBudget::seconds(5.0))
+        .solve(&lost, greedy.clone())
+        .deployment
+        .unwrap();
+
+    println!(
+        "{:<18} {:>16} {:>18} {:>26}",
+        "rebuild order", "objective", "rebuild time [s]", "runtime halfway through [s]"
+    );
+    for (label, order) in [
+        ("listing order", &listing_order),
+        ("greedy", &greedy),
+        ("greedy + VNS", &vns),
+    ] {
+        let value = evaluator.evaluate(order);
+        let curve = ImprovementCurve::from_objective(&value);
+        println!(
+            "{:<18} {:>16.0} {:>18.0} {:>26.0}",
+            label,
+            value.area,
+            value.deployment_time,
+            curve.runtime_at(value.deployment_time * 0.5)
+        );
+    }
+
+    let baseline = evaluator.evaluate(&listing_order);
+    let best = evaluator.evaluate(&vns);
+    println!(
+        "\nThe optimized rebuild schedule reduces the recovery objective by {:.1}% \
+         ({:.2e} vs {:.2e}) and finishes {:.0} seconds earlier.",
+        100.0 * (1.0 - best.area / baseline.area),
+        best.area,
+        baseline.area,
+        baseline.deployment_time - best.deployment_time
+    );
+    println!("first five indexes to rebuild: {}", {
+        let names: Vec<String> = vns
+            .order()
+            .iter()
+            .take(5)
+            .map(|&i| lost.index(i).name.clone())
+            .collect();
+        names.join(" → ")
+    });
+}

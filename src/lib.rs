@@ -1,0 +1,28 @@
+//! # idd — Incremental Database Design (umbrella crate)
+//!
+//! Reproduction of *"Optimizing Index Deployment Order for Evolving OLAP"*
+//! (EDBT 2012). This crate re-exports the workspace members so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`core`] — the problem model (indexes, queries, plans, interactions),
+//!   the objective function and instance serialization.
+//! * [`whatif`] — a synthetic DBMS substrate: catalog, cost model, what-if
+//!   optimizer and index advisor that produce problem instances.
+//! * [`workloads`] — TPC-H-like / TPC-DS-like workload generators.
+//! * [`solver`] — greedy, DP, CP branch-and-prune, MIP, A*, Tabu, LNS and VNS
+//!   solvers plus the combinatorial pruning analysis.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use idd_core as core;
+pub use idd_solver as solver;
+pub use idd_whatif as whatif;
+pub use idd_workloads as workloads;
+
+/// Convenience prelude re-exporting the most common types.
+pub mod prelude {
+    pub use idd_core::prelude::*;
+    pub use idd_solver::prelude::*;
+    pub use idd_whatif::prelude::*;
+    pub use idd_workloads::prelude::*;
+}

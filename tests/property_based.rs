@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) over randomly generated problem instances.
+//!
+//! These check the invariants the whole system leans on:
+//!
+//! * the incremental evaluators agree with the from-scratch evaluator on
+//!   arbitrary orders and arbitrary swaps;
+//! * the objective area always equals the area under the improvement curve;
+//! * every solver returns a valid permutation that respects precedences;
+//! * the Section-5 property analysis never removes all optimal solutions
+//!   (CP with constraints finds the same optimum as plain CP);
+//! * instance (de)serialization is lossless with respect to evaluation.
+
+use idd::core::{
+    Deployment, ImprovementCurve, InstanceBuilder, MatrixFile, ObjectiveEvaluator, PrefixEvaluator,
+    ProblemInstance,
+};
+use idd::prelude::*;
+use idd::solver::exact::{CpConfig, CpSolver};
+use proptest::prelude::*;
+
+/// Strategy: a random consistent problem instance with `n` indexes.
+fn arb_instance(max_indexes: usize) -> impl Strategy<Value = ProblemInstance> {
+    let n_range = 2..=max_indexes;
+    n_range.prop_flat_map(move |n| {
+        let costs = proptest::collection::vec(1.0f64..20.0, n);
+        let queries = proptest::collection::vec(
+            (
+                20.0f64..200.0,                                    // runtime
+                proptest::collection::vec(
+                    (
+                        proptest::collection::vec(0..n, 1..=3.min(n)), // plan members
+                        0.05f64..0.9,                                  // speed-up fraction
+                    ),
+                    1..=4,
+                ),
+            ),
+            1..=6,
+        );
+        let interactions = proptest::collection::vec((0..n, 0..n, 0.05f64..0.8), 0..=4);
+        (costs, queries, interactions).prop_map(move |(costs, queries, interactions)| {
+            let mut b = InstanceBuilder::new("proptest");
+            for c in &costs {
+                b.add_index(*c);
+            }
+            for (runtime, plans) in queries {
+                let q = b.add_query(runtime);
+                for (members, fraction) in plans {
+                    let ids: Vec<idd::core::IndexId> =
+                        members.into_iter().map(idd::core::IndexId::new).collect();
+                    b.add_plan(q, ids, runtime * fraction);
+                }
+            }
+            for (target, helper, fraction) in interactions {
+                if target != helper {
+                    let saving = costs[target] * fraction;
+                    b.add_build_interaction(
+                        idd::core::IndexId::new(target),
+                        idd::core::IndexId::new(helper),
+                        saving,
+                    );
+                }
+            }
+            b.build().expect("generated instance is consistent")
+        })
+    })
+}
+
+/// Strategy: an instance plus a random permutation of its indexes.
+fn arb_instance_and_order(
+    max_indexes: usize,
+) -> impl Strategy<Value = (ProblemInstance, Vec<usize>)> {
+    arb_instance(max_indexes).prop_flat_map(|inst| {
+        let n = inst.num_indexes();
+        (Just(inst), Just(()).prop_perturb(move |_, mut rng| {
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                order.swap(i, j);
+            }
+            order
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn objective_matches_curve_area((inst, order) in arb_instance_and_order(10)) {
+        let evaluator = ObjectiveEvaluator::new(&inst);
+        let deployment = Deployment::from_raw(order);
+        let value = evaluator.evaluate(&deployment);
+        let curve = ImprovementCurve::from_objective(&value);
+        prop_assert!((curve.area() - value.area).abs() < 1e-6 * value.area.max(1.0));
+        // Deployment time is the sum of the step costs and never exceeds the
+        // base build cost.
+        let step_sum: f64 = value.steps.iter().map(|s| s.build_cost).sum();
+        prop_assert!((step_sum - value.deployment_time).abs() < 1e-6);
+        prop_assert!(value.deployment_time <= inst.total_base_build_cost() + 1e-6);
+        // Runtime never increases while deploying.
+        for pair in value.steps.windows(2) {
+            prop_assert!(pair[1].runtime_before <= pair[0].runtime_after + 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefix_evaluator_agrees_on_all_swaps((inst, order) in arb_instance_and_order(8)) {
+        let evaluator = ObjectiveEvaluator::new(&inst);
+        let base = Deployment::from_raw(order);
+        let prefix = PrefixEvaluator::new(&inst, base.clone());
+        let n = inst.num_indexes();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let expected = evaluator.evaluate_area(&base.with_swap(a, b));
+                let got = prefix.evaluate_swap(a, b);
+                prop_assert!((expected - got).abs() < 1e-6,
+                    "swap {a},{b}: {expected} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_dp_and_local_search_return_valid_orders(inst in arb_instance(12)) {
+        let evaluator = ObjectiveEvaluator::new(&inst);
+        let greedy = GreedySolver::new().construct(&inst);
+        prop_assert!(greedy.validate(&inst).is_ok());
+        let dp = DpSolver::new().construct(&inst);
+        prop_assert!(dp.validate(&inst).is_ok());
+        let vns = VnsSolver::new(SearchBudget::nodes(15)).solve(&inst, greedy.clone());
+        let vns_deployment = vns.deployment.unwrap();
+        prop_assert!(vns_deployment.validate(&inst).is_ok());
+        prop_assert!(vns.objective <= evaluator.evaluate_area(&greedy) + 1e-9);
+    }
+
+    #[test]
+    fn serialization_is_lossless_for_evaluation((inst, order) in arb_instance_and_order(9)) {
+        let json = MatrixFile::new(inst.clone(), "proptest").to_json().unwrap();
+        let reloaded = MatrixFile::from_json(&json).unwrap().instance;
+        let deployment = Deployment::from_raw(order);
+        let a = ObjectiveEvaluator::new(&inst).evaluate_area(&deployment);
+        let b = ObjectiveEvaluator::new(&reloaded).evaluate_area(&deployment);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn property_analysis_never_cuts_off_the_optimum(inst in arb_instance(6)) {
+        let plain = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited())).solve(&inst);
+        let plus = CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
+            .solve(&inst);
+        prop_assert!(plain.is_optimal());
+        prop_assert!(plus.is_optimal());
+        prop_assert!((plain.objective - plus.objective).abs() < 1e-6 * plain.objective.max(1.0),
+            "plain {} vs constrained {}", plain.objective, plus.objective);
+    }
+
+    #[test]
+    fn random_solver_summary_is_internally_consistent(inst in arb_instance(10)) {
+        let summary = RandomSolver::new(17).summarize(&inst, 25);
+        prop_assert!(summary.minimum <= summary.average + 1e-9);
+        prop_assert!(summary.average <= summary.maximum + 1e-9);
+        prop_assert!(summary.best.validate(&inst).is_ok());
+        let best_area = ObjectiveEvaluator::new(&inst).evaluate_area(&summary.best);
+        prop_assert!((best_area - summary.minimum).abs() < 1e-9);
+    }
+}
