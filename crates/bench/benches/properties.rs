@@ -15,15 +15,21 @@ fn bench_properties(c: &mut Criterion) {
         ("tpcds-scale", SyntheticConfig::large(4)),
     ] {
         let instance = SyntheticGenerator::new(config).generate();
-        group.bench_with_input(BenchmarkId::new("alliances", label), &instance, |b, inst| {
-            b.iter(|| alliance::detect(std::hint::black_box(inst)))
-        });
-        group.bench_with_input(BenchmarkId::new("colonized", label), &instance, |b, inst| {
-            b.iter(|| colonized::detect(std::hint::black_box(inst)))
-        });
-        group.bench_with_input(BenchmarkId::new("dominated", label), &instance, |b, inst| {
-            b.iter(|| dominated::detect(std::hint::black_box(inst)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alliances", label),
+            &instance,
+            |b, inst| b.iter(|| alliance::detect(std::hint::black_box(inst))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("colonized", label),
+            &instance,
+            |b, inst| b.iter(|| colonized::detect(std::hint::black_box(inst))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dominated", label),
+            &instance,
+            |b, inst| b.iter(|| dominated::detect(std::hint::black_box(inst))),
+        );
         group.bench_with_input(BenchmarkId::new("disjoint", label), &instance, |b, inst| {
             b.iter(|| disjoint::detect(std::hint::black_box(inst)))
         });

@@ -97,8 +97,10 @@ mod tests {
 
     #[test]
     fn clamps_degenerate_values() {
-        let args =
-            HarnessArgs::parse_from(strs(&["--runs", "0", "--samples", "1"]), HarnessArgs::default());
+        let args = HarnessArgs::parse_from(
+            strs(&["--runs", "0", "--samples", "1"]),
+            HarnessArgs::default(),
+        );
         assert_eq!(args.runs, 1);
         assert_eq!(args.samples, 2);
     }

@@ -52,7 +52,10 @@ fn main() {
         "0".to_string(),
         format!("{:.2}", normalized(&instance, baseline_value.area)),
         format!("{:.1}", baseline_value.deployment_time),
-        format!("{:.2}", baseline_value.average_runtime_during_deployment() / instance.num_queries() as f64),
+        format!(
+            "{:.2}",
+            baseline_value.average_runtime_during_deployment() / instance.num_queries() as f64
+        ),
     ]);
 
     for s in 1..=args.samples {

@@ -15,7 +15,14 @@ fn main() {
     ];
 
     let mut table = Table::new(vec![
-        "Dataset", "source", "|Q|", "|I|", "|P|", "LargestPlan", "#Inter.(Build)", "#Inter.(Query)",
+        "Dataset",
+        "source",
+        "|Q|",
+        "|I|",
+        "|P|",
+        "LargestPlan",
+        "#Inter.(Build)",
+        "#Inter.(Query)",
     ]);
     for (name, instance, target) in &datasets {
         table.row(vec![

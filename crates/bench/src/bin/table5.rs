@@ -83,9 +83,14 @@ fn main() {
         time_limit: 5.0,
         ..HarnessArgs::default()
     });
-    println!("== Table 5: exact search on reduced TPC-H (per-cell limit {}s) ==", args.time_limit);
+    println!(
+        "== Table 5: exact search on reduced TPC-H (per-cell limit {}s) ==",
+        args.time_limit
+    );
     println!("Paper: times in minutes with a 12-hour limit; ours are scaled down.");
-    println!("The comparison of interest is which cells finish (vs DF) and how the frontier moves.\n");
+    println!(
+        "The comparison of interest is which cells finish (vs DF) and how the frontier moves.\n"
+    );
 
     let tpch = idd_bench::tpch();
     let configurations: Vec<(usize, Density)> = vec![

@@ -41,7 +41,10 @@ fn main() {
         "config", "6", "11", "13", "18", "22", "25", "31", "16mid", "21mid",
     ]);
     let mut constraint_counts = Table::new(vec![
-        "config", "ordered pairs on |I|=22 (low)", "alliances", "nodes explored (|I|=13 low)",
+        "config",
+        "ordered pairs on |I|=22 (low)",
+        "alliances",
+        "nodes explored (|I|=13 low)",
     ]);
 
     for level in levels {

@@ -38,7 +38,9 @@ fn measure(instance: &ProblemInstance, seed: u64) -> Row {
 
 fn main() {
     let args = HarnessArgs::parse(HarnessArgs::default());
-    println!("== Table 7: initial solution quality (normalized objective, 100 random permutations) ==\n");
+    println!(
+        "== Table 7: initial solution quality (normalized objective, 100 random permutations) ==\n"
+    );
 
     let paper = [
         ("TPC-H", 47.9, 57.0, 65.5, 51.5),

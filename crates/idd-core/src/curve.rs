@@ -55,11 +55,7 @@ impl ImprovementCurve {
 
     /// Workload runtime at an arbitrary moment of the deployment.
     pub fn runtime_at(&self, elapsed: f64) -> f64 {
-        let mut current = self
-            .points
-            .first()
-            .map(|p| p.runtime)
-            .unwrap_or(0.0);
+        let mut current = self.points.first().map(|p| p.runtime).unwrap_or(0.0);
         for p in &self.points {
             if p.elapsed <= elapsed {
                 current = p.runtime;

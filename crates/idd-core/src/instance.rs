@@ -325,7 +325,8 @@ impl InstanceBuilder {
     /// Adds a named query; returns its id.
     pub fn add_named_query(&mut self, name: impl Into<String>, original_runtime: f64) -> QueryId {
         let id = QueryId::new(self.queries.len());
-        self.queries.push(QueryMeta::named(id, name, original_runtime));
+        self.queries
+            .push(QueryMeta::named(id, name, original_runtime));
         id
     }
 
@@ -579,18 +580,9 @@ mod tests {
     #[test]
     fn build_speedup_lookup() {
         let inst = competing_example();
-        assert_eq!(
-            inst.build_speedup(IndexId::new(0), IndexId::new(1)),
-            3.0
-        );
-        assert_eq!(
-            inst.build_speedup(IndexId::new(1), IndexId::new(0)),
-            2.0
-        );
-        assert_eq!(
-            inst.build_speedup(IndexId::new(0), IndexId::new(0)),
-            0.0
-        );
+        assert_eq!(inst.build_speedup(IndexId::new(0), IndexId::new(1)), 3.0);
+        assert_eq!(inst.build_speedup(IndexId::new(1), IndexId::new(0)), 2.0);
+        assert_eq!(inst.build_speedup(IndexId::new(0), IndexId::new(0)), 0.0);
     }
 
     #[test]
@@ -700,10 +692,7 @@ mod tests {
         let back: ProblemInstance = serde_json::from_str(&json).unwrap();
         assert_eq!(back.num_plans(), inst.num_plans());
         assert_eq!(back.plans_using_index(IndexId::new(1)).len(), 1);
-        assert_eq!(
-            back.build_speedup(IndexId::new(0), IndexId::new(1)),
-            3.0
-        );
+        assert_eq!(back.build_speedup(IndexId::new(0), IndexId::new(1)), 3.0);
     }
 
     #[test]

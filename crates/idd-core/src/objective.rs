@@ -146,11 +146,7 @@ pub struct ObjectiveEvaluator<'a> {
 impl<'a> ObjectiveEvaluator<'a> {
     /// Creates an evaluator for the given instance.
     pub fn new(instance: &'a ProblemInstance) -> Self {
-        let plan_width = instance
-            .plans()
-            .iter()
-            .map(|p| p.width() as u32)
-            .collect();
+        let plan_width = instance.plans().iter().map(|p| p.width() as u32).collect();
         let plan_speedup = instance
             .plan_ids()
             .map(|p| instance.plan_speedup(p))
@@ -323,10 +319,7 @@ impl<'a> PrefixEvaluator<'a> {
 
     /// The objective area of the current base order.
     pub fn base_area(&self) -> f64 {
-        self.checkpoints
-            .last()
-            .map(|s| s.area)
-            .unwrap_or(0.0)
+        self.checkpoints.last().map(|s| s.area).unwrap_or(0.0)
     }
 
     /// Replaces the base order and rebuilds all checkpoints.

@@ -280,7 +280,9 @@ mod tests {
         let stats = InstanceStats::of(&red);
         assert_eq!(stats.num_build_interactions, 0);
         // Best plan of q0 is the 60s two-index plan.
-        assert!((red.plan_speedup(red.plans_of_query(crate::QueryId::new(0))[0]) - 60.0).abs() < 1e-9);
+        assert!(
+            (red.plan_speedup(red.plans_of_query(crate::QueryId::new(0))[0]) - 60.0).abs() < 1e-9
+        );
     }
 
     #[test]

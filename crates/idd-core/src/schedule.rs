@@ -178,7 +178,11 @@ impl DeploymentSchedule {
             out.push_str(&format!(
                 "CREATE INDEX {} ON {} ({}){};\n",
                 meta.name,
-                if meta.table.is_empty() { "<table>" } else { &meta.table },
+                if meta.table.is_empty() {
+                    "<table>"
+                } else {
+                    &meta.table
+                },
                 columns,
                 include
             ));

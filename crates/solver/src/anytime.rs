@@ -57,7 +57,10 @@ impl Trajectory {
 
     /// Final (best) objective, or ∞ when empty.
     pub fn final_objective(&self) -> f64 {
-        self.points.last().map(|p| p.objective).unwrap_or(f64::INFINITY)
+        self.points
+            .last()
+            .map(|p| p.objective)
+            .unwrap_or(f64::INFINITY)
     }
 
     /// `true` when no improvement was ever recorded.
@@ -81,7 +84,11 @@ impl Trajectory {
 
     /// Averages several trajectories into one sampled series. Points where a
     /// run has no incumbent yet are skipped in the average for that sample.
-    pub fn average(trajectories: &[Trajectory], horizon_seconds: f64, num_samples: usize) -> Vec<TrajectoryPoint> {
+    pub fn average(
+        trajectories: &[Trajectory],
+        horizon_seconds: f64,
+        num_samples: usize,
+    ) -> Vec<TrajectoryPoint> {
         (0..num_samples)
             .map(|i| {
                 let t = horizon_seconds * (i as f64 + 1.0) / num_samples as f64;

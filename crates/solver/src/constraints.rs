@@ -139,7 +139,10 @@ impl OrderConstraints {
         }
         for a in 0..self.n {
             for b in 0..self.n {
-                if self.closure[a][b] && pos[a] != usize::MAX && pos[b] != usize::MAX && pos[a] > pos[b]
+                if self.closure[a][b]
+                    && pos[a] != usize::MAX
+                    && pos[b] != usize::MAX
+                    && pos[a] > pos[b]
                 {
                     return false;
                 }

@@ -55,7 +55,9 @@ impl DpSolver {
                     let cross = share[pi].min(share[pj]);
                     for &a in &plan_a.indexes {
                         for &b in &plan_b.indexes {
-                            if a != b && !plan_a.indexes.contains(&b) && !plan_b.indexes.contains(&a)
+                            if a != b
+                                && !plan_a.indexes.contains(&b)
+                                && !plan_b.indexes.contains(&a)
                             {
                                 w[a.raw()][b.raw()] += cross;
                                 w[b.raw()][a.raw()] += cross;

@@ -131,7 +131,11 @@ impl AStarSolver {
 
         while let Some(node) = heap.pop() {
             if clock.exhausted() || best_g.len() > self.config.max_states {
-                return SolveResult::did_not_finish("astar", clock.elapsed_seconds(), clock.nodes());
+                return SolveResult::did_not_finish(
+                    "astar",
+                    clock.elapsed_seconds(),
+                    clock.nodes(),
+                );
             }
             clock.count_node();
 
@@ -240,8 +244,7 @@ mod tests {
                 ..AStarConfig::default()
             })
             .solve(&inst);
-            let cp = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited()))
-                .solve(&inst);
+            let cp = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited())).solve(&inst);
             assert!(astar.is_optimal(), "seed {seed}");
             assert!(
                 (astar.objective - cp.objective).abs() < 1e-6,

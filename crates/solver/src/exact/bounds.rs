@@ -125,7 +125,10 @@ mod tests {
             assert!(lb <= area + 1e-9, "lb {lb} > area {area} for {order:?}");
             assert!(weak <= area + 1e-9);
         }
-        assert!(weak <= lb + 1e-9, "weak bound must not exceed the strong one");
+        assert!(
+            weak <= lb + 1e-9,
+            "weak bound must not exceed the strong one"
+        );
     }
 
     #[test]

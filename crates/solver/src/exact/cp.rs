@@ -330,8 +330,8 @@ mod tests {
     fn cp_finds_the_brute_force_optimum() {
         for seed in [1, 2, 3] {
             let inst = small_instance(seed);
-            let result = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited()))
-                .solve(&inst);
+            let result =
+                CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited())).solve(&inst);
             assert!(result.is_optimal());
             let expected = brute_force_optimum(&inst);
             assert!(
@@ -347,11 +347,10 @@ mod tests {
         // The additional constraints must not change the optimal objective.
         for seed in [4, 5, 6, 7] {
             let inst = small_instance(seed);
-            let plain = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited()))
+            let plain =
+                CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited())).solve(&inst);
+            let plus = CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
                 .solve(&inst);
-            let plus =
-                CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
-                    .solve(&inst);
             assert!(plain.is_optimal() && plus.is_optimal());
             assert!(
                 (plain.objective - plus.objective).abs() < 1e-6,
@@ -360,7 +359,12 @@ mod tests {
                 plus.objective
             );
             // And the pruning never explores more nodes than plain CP.
-            assert!(plus.nodes <= plain.nodes, "seed {seed}: {} > {}", plus.nodes, plain.nodes);
+            assert!(
+                plus.nodes <= plain.nodes,
+                "seed {seed}: {} > {}",
+                plus.nodes,
+                plain.nodes
+            );
         }
     }
 
@@ -380,8 +384,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_feasible_or_dnf() {
         let inst = small_instance(9);
-        let result =
-            CpSolver::with_config(CpConfig::plain(SearchBudget::nodes(2))).solve(&inst);
+        let result = CpSolver::with_config(CpConfig::plain(SearchBudget::nodes(2))).solve(&inst);
         assert!(matches!(
             result.outcome,
             SolveOutcome::Feasible | SolveOutcome::DidNotFinish
@@ -399,8 +402,7 @@ mod tests {
         b.add_plan(q, vec![i2], 10.0);
         b.add_precedence(i0, i1);
         let inst = b.build().unwrap();
-        let result = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited()))
-            .solve(&inst);
+        let result = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited())).solve(&inst);
         let d = result.deployment.unwrap();
         assert!(d.is_valid_for(&inst));
         assert!(d.position_of(i0).unwrap() < d.position_of(i1).unwrap());

@@ -142,8 +142,7 @@ impl MipSolver {
 
         // Time quantum of the discretization.
         let total_cost = instance.total_base_build_cost();
-        let quantum =
-            (total_cost / (n * self.config.timesteps_per_index) as f64).max(f64::EPSILON);
+        let quantum = (total_cost / (n * self.config.timesteps_per_index) as f64).max(f64::EPSILON);
         let quantize = |cost: f64| -> f64 { (cost / quantum).ceil() * quantum };
 
         let mut heap: BinaryHeap<OpenNode> = BinaryHeap::new();
@@ -268,8 +267,7 @@ mod tests {
             ..MipConfig::default()
         })
         .solve(&inst);
-        let cp =
-            CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited())).solve(&inst);
+        let cp = CpSolver::with_config(CpConfig::plain(SearchBudget::unlimited())).solve(&inst);
         assert!(mip.is_optimal());
         // The MIP search branches on discretized costs but the reported
         // objective is re-evaluated exactly, so the orders should agree up to

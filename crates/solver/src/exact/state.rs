@@ -173,7 +173,10 @@ mod tests {
                 state.push(IndexId::new(raw));
             }
             let expected = eval.evaluate(&Deployment::from_raw(order));
-            assert!((state.area() - expected.area).abs() < 1e-9, "order {order:?}");
+            assert!(
+                (state.area() - expected.area).abs() < 1e-9,
+                "order {order:?}"
+            );
             assert!((state.runtime() - expected.final_runtime).abs() < 1e-9);
             assert!((state.elapsed() - expected.deployment_time).abs() < 1e-9);
             assert!(state.is_complete());

@@ -69,9 +69,7 @@ impl GreedySolver {
 
             let current_runtime_by_query: Vec<f64> = instance
                 .query_ids()
-                .map(|q| {
-                    instance.query_runtime(q) - evaluator.query_speedup_with(q, &built)
-                })
+                .map(|q| instance.query_runtime(q) - evaluator.query_speedup_with(q, &built))
                 .collect();
 
             for raw in 0..n {
@@ -103,8 +101,8 @@ impl GreedySolver {
                             if !plan.uses(candidate) {
                                 continue;
                             }
-                            let runtime_if_plan = instance.query_runtime(q)
-                                - instance.plan_speedup(pid);
+                            let runtime_if_plan =
+                                instance.query_runtime(q) - instance.plan_speedup(pid);
                             let interaction = next - runtime_if_plan;
                             let missing = plan
                                 .indexes
@@ -216,7 +214,10 @@ mod tests {
         assert!(eval.evaluate_area(&with_credit) <= eval.evaluate_area(&naive));
         // With the credit the join pair is scheduled before the small index.
         let pos2 = with_credit.position_of(IndexId::new(2)).unwrap();
-        assert_eq!(pos2, 2, "small index should come last, order {with_credit:?}");
+        assert_eq!(
+            pos2, 2,
+            "small index should come last, order {with_credit:?}"
+        );
     }
 
     #[test]

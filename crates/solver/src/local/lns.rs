@@ -84,8 +84,8 @@ impl LnsSolver {
         let mut trajectory = Trajectory::new();
         trajectory.record(clock.elapsed_seconds(), current_area);
 
-        let relax_count = ((n as f64 * self.config.relax_fraction).ceil() as usize)
-            .clamp(2.min(n), n);
+        let relax_count =
+            ((n as f64 * self.config.relax_fraction).ceil() as usize).clamp(2.min(n), n);
 
         let mut iterations = 0u64;
         while !clock.exhausted() && n >= 2 {

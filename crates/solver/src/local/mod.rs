@@ -164,9 +164,9 @@ pub(crate) fn swap_is_feasible(
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     let early = order[lo]; // moves later
     let late = order[hi]; // moves earlier
-    // `late` moves to position lo: nothing between lo..hi may be required
-    // before it, and it must not be required after `early`... the pairwise
-    // check against every index in the window (inclusive) covers both.
+                          // `late` moves to position lo: nothing between lo..hi may be required
+                          // before it, and it must not be required after `early`... the pairwise
+                          // check against every index in the window (inclusive) covers both.
     for pos in lo..=hi {
         let other = order[pos];
         if other != late && constraints.must_precede(other, late) {

@@ -128,8 +128,7 @@ impl TabuSolver {
                     continue;
                 }
                 let area = evaluator.evaluate_swap(a, b);
-                let is_tabu =
-                    tabu_until[ia.raw()] > iteration || tabu_until[ib.raw()] > iteration;
+                let is_tabu = tabu_until[ia.raw()] > iteration || tabu_until[ib.raw()] > iteration;
                 // Aspiration: a tabu move is allowed if it beats the best.
                 if is_tabu && area >= best_area - 1e-12 {
                     continue;
@@ -181,7 +180,9 @@ mod tests {
 
     fn instance() -> ProblemInstance {
         let mut b = ProblemInstance::builder("tabu");
-        let i: Vec<IndexId> = (0..8).map(|k| b.add_index(2.0 + (k % 4) as f64 * 3.0)).collect();
+        let i: Vec<IndexId> = (0..8)
+            .map(|k| b.add_index(2.0 + (k % 4) as f64 * 3.0))
+            .collect();
         for q in 0..6 {
             let qid = b.add_query(50.0 + q as f64 * 15.0);
             b.add_plan(qid, vec![i[q % 8]], 8.0);
@@ -199,8 +200,8 @@ mod tests {
         let initial = Deployment::identity(inst.num_indexes());
         let initial_area = eval.evaluate_area(&initial);
         for strategy in [SwapStrategy::Best, SwapStrategy::First] {
-            let result = TabuSolver::new(strategy, SearchBudget::nodes(50))
-                .solve(&inst, initial.clone());
+            let result =
+                TabuSolver::new(strategy, SearchBudget::nodes(50)).solve(&inst, initial.clone());
             assert!(result.objective <= initial_area + 1e-9);
             let d = result.deployment.unwrap();
             assert!(d.is_valid_for(&inst));
@@ -214,8 +215,8 @@ mod tests {
         let greedy = GreedySolver::new().construct(&inst);
         let eval = ObjectiveEvaluator::new(&inst);
         let greedy_area = eval.evaluate_area(&greedy);
-        let result = TabuSolver::new(SwapStrategy::Best, SearchBudget::nodes(100))
-            .solve(&inst, greedy);
+        let result =
+            TabuSolver::new(SwapStrategy::Best, SearchBudget::nodes(100)).solve(&inst, greedy);
         assert!(result.objective <= greedy_area + 1e-9);
         assert!(!result.trajectory.is_empty());
     }
@@ -232,8 +233,8 @@ mod tests {
         b.add_precedence(i0, i1);
         let inst = b.build().unwrap();
         let initial = Deployment::from_raw([0, 1, 2]);
-        let result = TabuSolver::new(SwapStrategy::Best, SearchBudget::nodes(30))
-            .solve(&inst, initial);
+        let result =
+            TabuSolver::new(SwapStrategy::Best, SearchBudget::nodes(30)).solve(&inst, initial);
         assert!(result.deployment.unwrap().is_valid_for(&inst));
     }
 

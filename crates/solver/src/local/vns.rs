@@ -98,8 +98,8 @@ impl VnsSolver {
         let mut trajectory = Trajectory::new();
         trajectory.record(clock.elapsed_seconds(), current_area);
 
-        let mut relax_count = ((n as f64 * self.config.initial_relax_fraction).ceil() as usize)
-            .clamp(2.min(n), n);
+        let mut relax_count =
+            ((n as f64 * self.config.initial_relax_fraction).ceil() as usize).clamp(2.min(n), n);
         let mut failure_limit = self.config.initial_failure_limit;
         let mut proofs_in_group = 0usize;
         let mut group_progress = 0usize;

@@ -108,9 +108,10 @@ pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
                 continue;
             }
             // (3) i never helps another index's build more than k does.
-            let i_helps_more = instance.helps(i).iter().any(|&(target, saving)| {
-                saving > instance.build_speedup(target, k) + 1e-12
-            });
+            let i_helps_more = instance
+                .helps(i)
+                .iter()
+                .any(|&(target, saving)| saving > instance.build_speedup(target, k) + 1e-12);
             if i_helps_more {
                 continue;
             }

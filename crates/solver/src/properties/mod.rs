@@ -222,7 +222,10 @@ mod tests {
         let report = analyze(&inst, AnalysisOptions::all());
         assert!(report.rounds >= 1);
         assert!(report.num_alliances >= 2, "report: {report:?}");
-        assert_eq!(report.total_ordered_pairs, report.constraints.num_ordered_pairs());
+        assert_eq!(
+            report.total_ordered_pairs,
+            report.constraints.num_ordered_pairs()
+        );
     }
 
     #[test]

@@ -208,10 +208,7 @@ mod tests {
         let (inst, deadweight) = deadweight_instance();
         let mut constraints = OrderConstraints::from_instance(&inst);
         // Pretend another index must be last instead; the tails must honour it.
-        let forced_last = inst
-            .index_ids()
-            .find(|&i| i != deadweight)
-            .unwrap();
+        let forced_last = inst.index_ids().find(|&i| i != deadweight).unwrap();
         for other in inst.index_ids() {
             if other != forced_last {
                 constraints.add_before(other, forced_last);

@@ -74,8 +74,7 @@ impl BuildCostModel {
             None => true,
         };
         let sort = if sort_needed {
-            self.model
-                .sort_cost(table.rows, index.entry_width(catalog))
+            self.model.sort_cost(table.rows, index.entry_width(catalog))
         } else {
             0.0
         };
@@ -176,13 +175,9 @@ mod tests {
         let cat = catalog();
         let model = BuildCostModel::default();
         let narrow = CandidateIndex::new("PEOPLE", vec!["LANG".into()]);
-        let wide = CandidateIndex::new(
-            "PEOPLE",
-            vec!["LANG".into(), "AGE".into(), "REGION".into()],
-        );
-        assert!(
-            model.base_creation_cost(&cat, &wide) > model.base_creation_cost(&cat, &narrow)
-        );
+        let wide =
+            CandidateIndex::new("PEOPLE", vec!["LANG".into(), "AGE".into(), "REGION".into()]);
+        assert!(model.base_creation_cost(&cat, &wide) > model.base_creation_cost(&cat, &narrow));
     }
 
     #[test]
@@ -191,10 +186,7 @@ mod tests {
         let cat = catalog();
         let model = BuildCostModel::default();
         let i1 = CandidateIndex::new("PEOPLE", vec!["LANG".into(), "REGION".into()]);
-        let i2 = CandidateIndex::new(
-            "PEOPLE",
-            vec!["LANG".into(), "AGE".into(), "REGION".into()],
-        );
+        let i2 = CandidateIndex::new("PEOPLE", vec!["LANG".into(), "AGE".into(), "REGION".into()]);
         let saving = model.build_speedup(&cat, &i1, &i2);
         assert!(saving > 0.0);
         // The narrow index cannot help building the wide one by as much
@@ -209,10 +201,8 @@ mod tests {
         let model = BuildCostModel::default();
         // Helper with the same leading keys in the same order.
         let target = CandidateIndex::new("PEOPLE", vec!["LANG".into()]);
-        let prefix_helper =
-            CandidateIndex::new("PEOPLE", vec!["LANG".into(), "AGE".into()]);
-        let nonprefix_helper =
-            CandidateIndex::new("PEOPLE", vec!["AGE".into(), "LANG".into()]);
+        let prefix_helper = CandidateIndex::new("PEOPLE", vec!["LANG".into(), "AGE".into()]);
+        let nonprefix_helper = CandidateIndex::new("PEOPLE", vec!["AGE".into(), "LANG".into()]);
         let with_prefix = model.creation_cost_with_helper(&cat, &target, &prefix_helper);
         let with_nonprefix = model.creation_cost_with_helper(&cat, &target, &nonprefix_helper);
         assert!(
@@ -254,7 +244,9 @@ mod tests {
         ];
         let interactions = model.all_interactions(&cat, &candidates, 0.05);
         // The wide LANG,AGE index helps the narrow LANG index.
-        assert!(interactions.iter().any(|&(t, h, s)| t == 0 && h == 1 && s > 0.0));
+        assert!(interactions
+            .iter()
+            .any(|&(t, h, s)| t == 0 && h == 1 && s > 0.0));
         // No interaction should involve the unrelated SALARY index as target.
         assert!(!interactions.iter().any(|&(t, _, _)| t == 2));
         // A 100% threshold filters everything out.

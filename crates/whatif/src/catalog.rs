@@ -65,7 +65,11 @@ impl Table {
 
     /// Total row width in bytes.
     pub fn row_width(&self) -> f64 {
-        self.columns.iter().map(|c| c.width_bytes).sum::<f64>().max(1.0)
+        self.columns
+            .iter()
+            .map(|c| c.width_bytes)
+            .sum::<f64>()
+            .max(1.0)
     }
 
     /// Heap size in pages.

@@ -170,8 +170,7 @@ impl CostModel {
             } else {
                 1.0
             };
-            let cost =
-                self.index_access_cost(catalog, table, ix, sargable, residual, covering);
+            let cost = self.index_access_cost(catalog, table, ix, sargable, residual, covering);
             if cost < best.cost {
                 best = AccessPath {
                     cost,

@@ -168,19 +168,14 @@ impl Optimizer {
                 // Rows of the fact table reached through the driving dimension.
                 let reached = (fact_table.rows * dim.selectivity).max(1.0);
                 // Extra sargable columns of the fact index filter further.
-                let extra_sel = selectivity_of_columns(
-                    cat,
-                    query,
-                    &query.fact_table,
-                    &fact_ix.key_columns,
-                );
+                let extra_sel =
+                    selectivity_of_columns(cat, query, &query.fact_table, &fact_ix.key_columns);
                 let fetched = (reached * extra_sel).max(1.0);
                 let needed = query.referenced_columns(&query.fact_table);
                 let covering = fact_ix.covers(&needed);
 
-                let descents = dim.output_rows
-                    * params.btree_descent_pages
-                    * params.random_page_cost;
+                let descents =
+                    dim.output_rows * params.btree_descent_pages * params.random_page_cost;
                 let leaf = fetched * params.cpu_index_tuple_cost
                     + fact_ix.size_pages(cat) * dim.selectivity * params.seq_page_cost;
                 let heap = if covering {
@@ -216,7 +211,11 @@ impl Optimizer {
 
         alternatives
             .into_iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(PlanChoice::normalize)
             .unwrap_or(PlanChoice {
                 cost: 0.0,

@@ -24,7 +24,11 @@ impl CandidateIndex {
     /// Creates a secondary index on `table(key_columns)`.
     pub fn new(table: impl Into<String>, key_columns: Vec<String>) -> Self {
         let table = table.into();
-        let name = format!("ix_{}_{}", table.to_lowercase(), key_columns.join("_").to_lowercase());
+        let name = format!(
+            "ix_{}_{}",
+            table.to_lowercase(),
+            key_columns.join("_").to_lowercase()
+        );
         Self {
             name,
             table,
@@ -166,7 +170,10 @@ impl PhysicalConfig {
     }
 
     /// Indexes defined on one table.
-    pub fn indexes_on<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a CandidateIndex> + 'a {
+    pub fn indexes_on<'a>(
+        &'a self,
+        table: &'a str,
+    ) -> impl Iterator<Item = &'a CandidateIndex> + 'a {
         self.indexes.iter().filter(move |i| i.table == table)
     }
 
@@ -211,8 +218,8 @@ mod tests {
     fn name_generation_and_builders() {
         let ix = CandidateIndex::new("PEOPLE", vec!["CITY".into()]);
         assert_eq!(ix.name, "ix_people_city");
-        let cov = CandidateIndex::new("PEOPLE", vec!["CITY".into()])
-            .with_includes(vec!["SALARY".into()]);
+        let cov =
+            CandidateIndex::new("PEOPLE", vec!["CITY".into()]).with_includes(vec!["SALARY".into()]);
         assert!(cov.name.contains("incl_salary"));
         let cl = CandidateIndex::new("PEOPLE", vec!["EMPID".into()]).as_clustered();
         assert!(cl.clustered);
@@ -221,8 +228,8 @@ mod tests {
 
     #[test]
     fn covers_requires_all_columns() {
-        let cov = CandidateIndex::new("PEOPLE", vec!["CITY".into()])
-            .with_includes(vec!["SALARY".into()]);
+        let cov =
+            CandidateIndex::new("PEOPLE", vec!["CITY".into()]).with_includes(vec!["SALARY".into()]);
         assert!(cov.covers(&["CITY".into(), "SALARY".into()]));
         assert!(!cov.covers(&["CITY".into(), "EMPID".into()]));
         assert_eq!(cov.leading_column(), Some("CITY"));
@@ -234,7 +241,9 @@ mod tests {
         assert!(CandidateIndex::new("PEOPLE", vec!["CITY".into()])
             .validate(&cat)
             .is_ok());
-        assert!(CandidateIndex::new("PEOPLE", vec![]).validate(&cat).is_err());
+        assert!(CandidateIndex::new("PEOPLE", vec![])
+            .validate(&cat)
+            .is_err());
         assert!(CandidateIndex::new("PEOPLE", vec!["NOPE".into()])
             .validate(&cat)
             .is_err());

@@ -176,7 +176,8 @@ impl QuerySpec {
 
     /// Adds a dimension join (builder style).
     pub fn join(mut self, fact_column: ColumnRef, dimension_column: ColumnRef) -> Self {
-        self.joins.push(JoinEdge::new(fact_column, dimension_column));
+        self.joins
+            .push(JoinEdge::new(fact_column, dimension_column));
         self
     }
 

@@ -75,7 +75,12 @@ impl WhatIfOptimizer {
 
     /// Cost of a query in seconds when exactly the candidates at
     /// `positions` are hypothetically materialized.
-    pub fn cost_with(&self, query: &QuerySpec, candidates: &[CandidateIndex], positions: &[usize]) -> f64 {
+    pub fn cost_with(
+        &self,
+        query: &QuerySpec,
+        candidates: &[CandidateIndex],
+        positions: &[usize],
+    ) -> f64 {
         let config = PhysicalConfig::with_indexes(
             positions.iter().map(|&p| candidates[p].clone()).collect(),
         );
@@ -102,9 +107,9 @@ impl WhatIfOptimizer {
         let mut config = PhysicalConfig::with_indexes(candidates.to_vec());
 
         let record = |positions: Vec<usize>,
-                          cost: f64,
-                          results: &mut Vec<AtomicConfiguration>,
-                          seen: &mut std::collections::HashSet<Vec<usize>>| {
+                      cost: f64,
+                      results: &mut Vec<AtomicConfiguration>,
+                      seen: &mut std::collections::HashSet<Vec<usize>>| {
             let speedup = baseline - cost;
             if positions.is_empty() || speedup < min_speedup {
                 return;
@@ -246,9 +251,7 @@ mod tests {
         let cands = candidates();
         let configs = wi.atomic_configurations(&query(), &cands, WhatIfOptions::default());
         // DATE_ID index (position 2) is useless for this query.
-        assert!(configs
-            .iter()
-            .all(|c| !c.candidate_positions.contains(&2)));
+        assert!(configs.iter().all(|c| !c.candidate_positions.contains(&2)));
     }
 
     #[test]

@@ -145,10 +145,22 @@ impl CalibrationReport {
             "quantity", "paper", "measured"
         ));
         let rows = [
-            ("|Q| queries", self.target.num_queries, self.measured.num_queries),
-            ("|I| indexes", self.target.num_indexes, self.measured.num_indexes),
+            (
+                "|Q| queries",
+                self.target.num_queries,
+                self.measured.num_queries,
+            ),
+            (
+                "|I| indexes",
+                self.target.num_indexes,
+                self.measured.num_indexes,
+            ),
             ("|P| plans", self.target.num_plans, self.measured.num_plans),
-            ("largest plan", self.target.largest_plan, self.measured.largest_plan),
+            (
+                "largest plan",
+                self.target.largest_plan,
+                self.measured.largest_plan,
+            ),
             (
                 "build interactions",
                 self.target.num_build_interactions,

@@ -177,7 +177,8 @@ impl SyntheticGenerator {
             }
         }
 
-        b.build().expect("synthetic generator produced an invalid instance")
+        b.build()
+            .expect("synthetic generator produced an invalid instance")
     }
 }
 
@@ -205,8 +206,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(SyntheticConfig { seed: 1, ..SyntheticConfig::default() });
-        let b = generate(SyntheticConfig { seed: 2, ..SyntheticConfig::default() });
+        let a = generate(SyntheticConfig {
+            seed: 1,
+            ..SyntheticConfig::default()
+        });
+        let b = generate(SyntheticConfig {
+            seed: 2,
+            ..SyntheticConfig::default()
+        });
         let ea = ObjectiveEvaluator::new(&a).evaluate_area(&Deployment::identity(a.num_indexes()));
         let eb = ObjectiveEvaluator::new(&b).evaluate_area(&Deployment::identity(b.num_indexes()));
         assert_ne!(ea, eb);

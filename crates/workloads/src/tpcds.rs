@@ -12,8 +12,8 @@
 //! extracted problem instance — is identical on every run.
 
 use idd_whatif::{
-    Aggregate, AdvisorConfig, Catalog, Column, ColumnRef, ExtractionConfig, Predicate, QuerySpec,
-    Table, Workload, WhatIfOptions,
+    AdvisorConfig, Aggregate, Catalog, Column, ColumnRef, ExtractionConfig, Predicate, QuerySpec,
+    Table, WhatIfOptions, Workload,
 };
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -56,7 +56,12 @@ const FACTS: &[FactSpec] = &[
             ("SS_STORE_SK", "STORE", "S_STORE_SK"),
             ("SS_PROMO_SK", "PROMOTION", "P_PROMO_SK"),
         ],
-        measures: &["SS_QUANTITY", "SS_SALES_PRICE", "SS_EXT_SALES_PRICE", "SS_NET_PROFIT"],
+        measures: &[
+            "SS_QUANTITY",
+            "SS_SALES_PRICE",
+            "SS_EXT_SALES_PRICE",
+            "SS_NET_PROFIT",
+        ],
         weight: 0.40,
     },
     FactSpec {
@@ -75,7 +80,12 @@ const FACTS: &[FactSpec] = &[
             ("CS_WAREHOUSE_SK", "WAREHOUSE", "W_WAREHOUSE_SK"),
             ("CS_PROMO_SK", "PROMOTION", "P_PROMO_SK"),
         ],
-        measures: &["CS_QUANTITY", "CS_SALES_PRICE", "CS_EXT_SALES_PRICE", "CS_NET_PROFIT"],
+        measures: &[
+            "CS_QUANTITY",
+            "CS_SALES_PRICE",
+            "CS_EXT_SALES_PRICE",
+            "CS_NET_PROFIT",
+        ],
         weight: 0.25,
     },
     FactSpec {
@@ -92,7 +102,12 @@ const FACTS: &[FactSpec] = &[
             ("WS_WAREHOUSE_SK", "WAREHOUSE", "W_WAREHOUSE_SK"),
             ("WS_PROMO_SK", "PROMOTION", "P_PROMO_SK"),
         ],
-        measures: &["WS_QUANTITY", "WS_SALES_PRICE", "WS_EXT_SALES_PRICE", "WS_NET_PROFIT"],
+        measures: &[
+            "WS_QUANTITY",
+            "WS_SALES_PRICE",
+            "WS_EXT_SALES_PRICE",
+            "WS_NET_PROFIT",
+        ],
         weight: 0.18,
     },
     FactSpec {
@@ -124,7 +139,12 @@ const FACTS: &[FactSpec] = &[
 const DIMS: &[DimSpec] = &[
     DimSpec {
         name: "DATE_DIM",
-        attributes: &[("D_YEAR", 'e'), ("D_MOY", 'e'), ("D_QOY", 'e'), ("D_DOW", 'e')],
+        attributes: &[
+            ("D_YEAR", 'e'),
+            ("D_MOY", 'e'),
+            ("D_QOY", 'e'),
+            ("D_DOW", 'e'),
+        ],
     },
     DimSpec {
         name: "TIME_DIM",
@@ -519,7 +539,10 @@ pub fn queries() -> Vec<QuerySpec> {
         let mut filtered_dims = 0usize;
         for &j in chosen {
             let (fk, dim_table, dim_pk) = fact.joins[j];
-            q = q.join(ColumnRef::new(fact.name, fk), ColumnRef::new(dim_table, dim_pk));
+            q = q.join(
+                ColumnRef::new(fact.name, fk),
+                ColumnRef::new(dim_table, dim_pk),
+            );
             let spec = dim_spec(dim_table);
             // Filter most joined dimensions (wide queries filter many dims,
             // which is what makes their best plans use many indexes).

@@ -11,8 +11,8 @@
 //! joined and aggregated, and therefore which (multi-)index plans exist.
 
 use idd_whatif::{
-    Aggregate, AdvisorConfig, Catalog, Column, ColumnRef, ExtractionConfig, Predicate, QuerySpec,
-    Table, Workload, WhatIfOptions,
+    AdvisorConfig, Aggregate, Catalog, Column, ColumnRef, ExtractionConfig, Predicate, QuerySpec,
+    Table, WhatIfOptions, Workload,
 };
 
 /// Scale factor the cardinalities are modelled after.

@@ -64,7 +64,9 @@ fn main() {
     MatrixFile::new(instance.clone(), "custom_workload example")
         .save(&path)
         .expect("matrix file written");
-    let instance = MatrixFile::load(&path).expect("matrix file read back").instance;
+    let instance = MatrixFile::load(&path)
+        .expect("matrix file read back")
+        .instance;
     println!("{}", MatrixFile::new(instance.clone(), "reload").summary());
 
     let evaluator = ObjectiveEvaluator::new(&instance);
@@ -76,7 +78,11 @@ fn main() {
     results.push(("greedy".into(), greedy_area, greedy.arrow_notation()));
 
     let dp = DpSolver::new().construct(&instance);
-    results.push(("dp".into(), evaluator.evaluate_area(&dp), dp.arrow_notation()));
+    results.push((
+        "dp".into(),
+        evaluator.evaluate_area(&dp),
+        dp.arrow_notation(),
+    ));
 
     let random = RandomSolver::new(7).summarize(&instance, 100);
     results.push((
@@ -100,7 +106,9 @@ fn main() {
             VnsSolver::new(SearchBudget::seconds(1.0)).solve(&instance, greedy.clone()),
         ),
     ] {
-        let d = result.deployment.expect("local search returns a deployment");
+        let d = result
+            .deployment
+            .expect("local search returns a deployment");
         results.push((name.into(), result.objective, d.arrow_notation()));
     }
 

@@ -14,6 +14,9 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub use idd_core as core;
 pub use idd_solver as solver;
 pub use idd_whatif as whatif;

@@ -47,25 +47,43 @@ fn small_workload() -> Workload {
     let q = |name: &str| QuerySpec::new(name, "FACT");
     let queries = vec![
         q("by_category")
-            .join(ColumnRef::new("FACT", "DIM1_ID"), ColumnRef::new("DIM1", "ID"))
+            .join(
+                ColumnRef::new("FACT", "DIM1_ID"),
+                ColumnRef::new("DIM1", "ID"),
+            )
             .filter(Predicate::equality(ColumnRef::new("DIM1", "CATEGORY")))
             .group(ColumnRef::new("DIM1", "CATEGORY"))
             .aggregate(Aggregate::sum(ColumnRef::new("FACT", "MEASURE"))),
         q("by_region_year")
-            .join(ColumnRef::new("FACT", "DIM1_ID"), ColumnRef::new("DIM1", "ID"))
-            .join(ColumnRef::new("FACT", "DIM2_ID"), ColumnRef::new("DIM2", "ID"))
+            .join(
+                ColumnRef::new("FACT", "DIM1_ID"),
+                ColumnRef::new("DIM1", "ID"),
+            )
+            .join(
+                ColumnRef::new("FACT", "DIM2_ID"),
+                ColumnRef::new("DIM2", "ID"),
+            )
             .filter(Predicate::equality(ColumnRef::new("DIM1", "REGION")))
             .filter(Predicate::equality(ColumnRef::new("DIM2", "YEAR")))
             .group(ColumnRef::new("DIM1", "REGION"))
             .aggregate(Aggregate::sum(ColumnRef::new("FACT", "MEASURE"))),
         q("yearly_total")
-            .join(ColumnRef::new("FACT", "DIM2_ID"), ColumnRef::new("DIM2", "ID"))
+            .join(
+                ColumnRef::new("FACT", "DIM2_ID"),
+                ColumnRef::new("DIM2", "ID"),
+            )
             .filter(Predicate::equality(ColumnRef::new("DIM2", "YEAR")))
             .group(ColumnRef::new("DIM2", "YEAR"))
             .aggregate(Aggregate::sum(ColumnRef::new("FACT", "MEASURE2"))),
         q("category_year")
-            .join(ColumnRef::new("FACT", "DIM1_ID"), ColumnRef::new("DIM1", "ID"))
-            .join(ColumnRef::new("FACT", "DIM2_ID"), ColumnRef::new("DIM2", "ID"))
+            .join(
+                ColumnRef::new("FACT", "DIM1_ID"),
+                ColumnRef::new("DIM1", "ID"),
+            )
+            .join(
+                ColumnRef::new("FACT", "DIM2_ID"),
+                ColumnRef::new("DIM2", "ID"),
+            )
             .filter(Predicate::in_list(ColumnRef::new("DIM1", "CATEGORY"), 3))
             .filter(Predicate::equality(ColumnRef::new("DIM2", "YEAR")))
             .group(ColumnRef::new("DIM1", "CATEGORY"))
@@ -207,7 +225,9 @@ fn local_search_methods_improve_or_match_greedy_end_to_end() {
             result.objective <= greedy_area + 1e-9,
             "{name} worsened the greedy solution"
         );
-        let deployment = result.deployment.expect("local search returns a deployment");
+        let deployment = result
+            .deployment
+            .expect("local search returns a deployment");
         deployment
             .validate(&instance)
             .unwrap_or_else(|e| panic!("{name} produced an invalid deployment: {e}"));

@@ -25,7 +25,7 @@ fn arb_instance(max_indexes: usize) -> impl Strategy<Value = ProblemInstance> {
         let costs = proptest::collection::vec(1.0f64..20.0, n);
         let queries = proptest::collection::vec(
             (
-                20.0f64..200.0,                                    // runtime
+                20.0f64..200.0, // runtime
                 proptest::collection::vec(
                     (
                         proptest::collection::vec(0..n, 1..=3.min(n)), // plan members
@@ -71,14 +71,17 @@ fn arb_instance_and_order(
 ) -> impl Strategy<Value = (ProblemInstance, Vec<usize>)> {
     arb_instance(max_indexes).prop_flat_map(|inst| {
         let n = inst.num_indexes();
-        (Just(inst), Just(()).prop_perturb(move |_, mut rng| {
-            let mut order: Vec<usize> = (0..n).collect();
-            for i in (1..n).rev() {
-                let j = (rng.next_u64() as usize) % (i + 1);
-                order.swap(i, j);
-            }
-            order
-        }))
+        (
+            Just(inst),
+            Just(()).prop_perturb(move |_, mut rng| {
+                let mut order: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = (rng.next_u64() as usize) % (i + 1);
+                    order.swap(i, j);
+                }
+                order
+            }),
+        )
     })
 }
 

@@ -1,0 +1,239 @@
+//! Offline shim of the `criterion` benchmarking API used by this workspace.
+//!
+//! Implements the structural API (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`)
+//! with a deliberately lightweight measurement loop: a short warm-up, then
+//! timed batches until the configured measurement time (capped) elapses,
+//! reporting mean ns/iteration to stdout. There is no statistical analysis,
+//! HTML report or comparison against saved baselines — the value here is
+//! that `cargo bench` runs and prints stable relative numbers offline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Cap on the per-benchmark measurement budget, so full `cargo bench` runs
+/// stay in seconds even when callers ask for criterion's multi-second
+/// defaults.
+const MEASUREMENT_CAP: Duration = Duration::from_millis(300);
+
+/// Entry point holding global configuration (the shim keeps none).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_millis(100),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(None, &id.0, Duration::from_millis(100), f);
+        self
+    }
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id from a parameter label alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (accepted, unused by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark (capped by the shim).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d.min(MEASUREMENT_CAP);
+        self
+    }
+
+    /// Sets the warm-up budget (accepted, unused: the shim warms up with a
+    /// fixed small number of iterations).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(Some(&self.name), &id.0, self.measurement_time, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = self.name.clone();
+        let time = self.measurement_time;
+        run_benchmark(Some(&name), &id.0, time, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// `(total_elapsed, total_iterations)` accumulated by `iter`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a handful of calls, also used to size the first batch.
+        let warmup_start = Instant::now();
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let per_call = warmup_start.elapsed() / 3;
+
+        let budget = self.measurement_time;
+        let mut batch = if per_call.is_zero() {
+            1024
+        } else {
+            (budget.as_nanos() / per_call.as_nanos().max(1) / 8).clamp(1, 1 << 20) as u64
+        };
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &str,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        measurement_time,
+        result: None,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match bencher.result {
+        Some((total, iters)) if iters > 0 => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("bench {label:<50} {ns:>14.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! `Value`-tree data model of the sibling `serde` shim, with no dependency on
+//! `syn`/`quote` (the build environment has no registry access). The item is
+//! parsed by walking the raw [`proc_macro::TokenStream`], which is sufficient
+//! for the shapes this workspace uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (serialized transparently when they have one field,
+//!   as arrays otherwise);
+//! * field-less enums (serialized as the variant name string);
+//! * container attributes `#[serde(transparent)]` and
+//!   `#[serde(try_from = "Type", into = "Type")]`.
+//!
+//! Anything outside that subset produces a `compile_error!` naming the
+//! unsupported construct, so growth in the main crates fails loudly instead
+//! of silently mis-serializing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().unwrap()
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    let mut try_from = None;
+    let mut into = None;
+
+    // Leading attributes (doc comments, #[serde(...)], ...).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    for arg in serde_attr_args(g) {
+                        if arg == "transparent" {
+                            transparent = true;
+                        } else if let Some(ty) = attr_value(&arg, "try_from") {
+                            try_from = Some(ty);
+                        } else if let Some(ty) = attr_value(&arg, "into") {
+                            into = Some(ty);
+                        } else {
+                            return Err(format!("unsupported serde attribute `{arg}`"));
+                        }
+                    }
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other}`")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored serde shim"
+            ));
+        }
+    }
+
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_unit_variants(g, &name)?)
+            }
+            other => return Err(format!("expected enum body, found `{other:?}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => return Err(format!("expected struct body, found `{other:?}`")),
+        }
+    };
+
+    Ok(Input {
+        name,
+        kind,
+        transparent,
+        try_from,
+        into,
+    })
+}
+
+/// Returns the comma-separated argument strings of a `#[serde(...)]`
+/// attribute group, or an empty vector for any other attribute.
+fn serde_attr_args(attr_body: &proc_macro::Group) -> Vec<String> {
+    let inner: Vec<TokenTree> = attr_body.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .to_string()
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Extracts `Ty` from an argument of the form `key = "Ty"`.
+fn attr_value(arg: &str, key: &str) -> Option<String> {
+    let rest = arg.strip_prefix(key)?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim();
+    Some(rest.trim_matches('"').to_string())
+}
+
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found `{other:?}`")),
+        }
+        // Consume the type: everything up to the next comma at angle-bracket
+        // depth zero (parenthesized types are single Group tokens, so only
+        // `<`/`>` need tracking).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: &proc_macro::Group) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0;
+    let mut saw_token = false;
+    for t in body.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_unit_variants(body: &proc_macro::Group, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                if let Some(TokenTree::Group(_)) = tokens.get(i + 1) {
+                    return Err(format!(
+                        "enum `{enum_name}` has data-carrying variant `{variant}`, \
+                         which the vendored serde shim does not support"
+                    ));
+                }
+                variants.push(variant);
+                i += 1;
+            }
+            other => return Err(format!("unexpected token in enum body: `{other}`")),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(into_ty) = &input.into {
+        format!(
+            "let __raw: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__raw)"
+        )
+    } else {
+        match &input.kind {
+            Kind::NamedStruct(fields) if input.transparent && fields.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            }
+            Kind::NamedStruct(fields) => {
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "__entries.push(({f:?}.to_string(), \
+                             ::serde::Serialize::to_value(&self.{f})));\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__entries)"
+                )
+            }
+            Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                    .collect();
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(try_ty) = &input.try_from {
+        format!(
+            "let __raw: {try_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::std::convert::TryFrom::try_from(__raw).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &input.kind {
+            Kind::NamedStruct(fields) if input.transparent && fields.len() == 1 => {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0]
+                )
+            }
+            Kind::NamedStruct(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: match ::serde::__find(__entries, {f:?}) {{\n\
+                                Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                                None => ::serde::Deserialize::from_missing({f:?})?,\n\
+                             }},\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __entries = match __v {{\n\
+                        ::serde::Value::Object(entries) => entries,\n\
+                        other => return Err(::serde::Error::custom(format!(\n\
+                            \"expected object for {name}, found {{}}\", other.type_name()))),\n\
+                     }};\n\
+                     Ok({name} {{\n{inits}}})"
+                )
+            }
+            Kind::TupleStruct(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = match __v {{\n\
+                        ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                        other => return Err(::serde::Error::custom(format!(\n\
+                            \"expected array of length {n} for {name}, found {{}}\",\n\
+                            other.type_name()))),\n\
+                     }};\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Kind::UnitStruct => format!("Ok({name})"),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                        ::serde::Value::String(s) => match s.as_str() {{\n{arms}\
+                            other => Err(::serde::Error::custom(format!(\n\
+                                \"unknown variant `{{other}}` for {name}\"))),\n\
+                        }},\n\
+                        other => Err(::serde::Error::custom(format!(\n\
+                            \"expected string variant for {name}, found {{}}\",\n\
+                            other.type_name()))),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+            {{\n{body}\n}}\n\
+         }}"
+    )
+}
