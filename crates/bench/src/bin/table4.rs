@@ -7,12 +7,19 @@ use idd_core::InstanceStats;
 use idd_workloads::{CalibrationReport, PaperTargets};
 
 fn main() {
+    // `--tiny` switches to the hand-specified 6-index instance so the golden
+    // regression test can diff the full output bit-for-bit.
+    let tiny = std::env::args().any(|a| a == "--tiny");
     println!("== Table 4: experimental datasets (paper vs. measured) ==\n");
 
-    let datasets = [
-        ("TPC-H", idd_bench::tpch(), PaperTargets::tpch()),
-        ("TPC-DS", idd_bench::tpcds(), PaperTargets::tpcds()),
-    ];
+    let datasets = if tiny {
+        vec![("Tiny", idd_bench::tiny(), PaperTargets::tpch())]
+    } else {
+        vec![
+            ("TPC-H", idd_bench::tpch(), PaperTargets::tpch()),
+            ("TPC-DS", idd_bench::tpcds(), PaperTargets::tpcds()),
+        ]
+    };
 
     let mut table = Table::new(vec![
         "Dataset",

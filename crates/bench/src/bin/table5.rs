@@ -79,12 +79,17 @@ fn run_vns(instance: &ProblemInstance, budget: SearchBudget) -> Cell {
 }
 
 fn main() {
+    // `--tiny` switches to the hand-specified 6-index instance, small
+    // reductions and a node-based VNS budget, so the golden regression test
+    // can diff the full output bit-for-bit across machines.
+    let tiny = std::env::args().any(|a| a == "--tiny");
     let args = HarnessArgs::parse(HarnessArgs {
         time_limit: 5.0,
         ..HarnessArgs::default()
     });
     println!(
-        "== Table 5: exact search on reduced TPC-H (per-cell limit {}s) ==",
+        "== Table 5: exact search on reduced {} (per-cell limit {}s) ==",
+        if tiny { "Tiny" } else { "TPC-H" },
         args.time_limit
     );
     println!("Paper: times in minutes with a 12-hour limit; ours are scaled down.");
@@ -92,16 +97,24 @@ fn main() {
         "The comparison of interest is which cells finish (vs DF) and how the frontier moves.\n"
     );
 
-    let tpch = idd_bench::tpch();
-    let configurations: Vec<(usize, Density)> = vec![
-        (6, Density::Low),
-        (11, Density::Low),
-        (13, Density::Low),
-        (22, Density::Low),
-        (31, Density::Low),
-        (16, Density::Mid),
-        (21, Density::Mid),
-    ];
+    let tpch = if tiny {
+        idd_bench::tiny()
+    } else {
+        idd_bench::tpch()
+    };
+    let configurations: Vec<(usize, Density)> = if tiny {
+        vec![(4, Density::Low), (6, Density::Low)]
+    } else {
+        vec![
+            (6, Density::Low),
+            (11, Density::Low),
+            (13, Density::Low),
+            (22, Density::Low),
+            (31, Density::Low),
+            (16, Density::Mid),
+            (21, Density::Mid),
+        ]
+    };
 
     let mut table = Table::new(vec!["|I|", "Density", "MIP", "CP", "MIP+", "CP+", "VNS"]);
     let mut objective_notes: Vec<String> = Vec::new();
@@ -121,7 +134,13 @@ fn main() {
         let cp = run_cp(&reduced, budget, false);
         let mip_plus = run_mip(&reduced, budget, true);
         let cp_plus = run_cp(&reduced, budget, true);
-        let vns = run_vns(&reduced, SearchBudget::seconds(args.time_limit.min(2.0)));
+        // Node budgets are machine-independent; the golden test relies on it.
+        let vns_budget = if tiny {
+            SearchBudget::nodes(400)
+        } else {
+            SearchBudget::seconds(args.time_limit.min(2.0))
+        };
+        let vns = run_vns(&reduced, vns_budget);
 
         // Sanity note: when both CP variants prove optimality they must agree,
         // and VNS should reach the same objective.
@@ -158,7 +177,10 @@ fn main() {
     // large instances.
     let size = MipSolver::new().model_size(&tpch);
     println!(
-        "\nMIP model size on full TPC-H: {} timesteps, {} variables, {} constraints",
-        size.timesteps, size.variables, size.constraints
+        "\nMIP model size on full {}: {} timesteps, {} variables, {} constraints",
+        if tiny { "Tiny" } else { "TPC-H" },
+        size.timesteps,
+        size.variables,
+        size.constraints
     );
 }

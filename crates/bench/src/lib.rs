@@ -41,6 +41,36 @@ pub fn tpcds() -> ProblemInstance {
     idd_workloads::tpcds_instance().expect("TPC-DS-like extraction failed")
 }
 
+/// A tiny, fully hand-specified instance (6 indexes, 4 queries, no RNG
+/// anywhere) used by the `--tiny` mode of the table binaries and the golden
+/// regression tests: its solver outputs are bit-for-bit reproducible across
+/// machines.
+pub fn tiny() -> ProblemInstance {
+    let mut b = ProblemInstance::builder("tiny");
+    let i0 = b.add_named_index("i(ORDERS.DATE)", 4.0);
+    let i1 = b.add_named_index("i(ORDERS.DATE,AMT)", 6.0);
+    let i2 = b.add_named_index("i(CUST.REGION)", 3.0);
+    let i3 = b.add_named_index("i(CUST.REGION,SEG)", 5.0);
+    let i4 = b.add_named_index("i(PART.BRAND)", 2.0);
+    let i5 = b.add_named_index("i(LINE.SHIPDATE)", 7.0);
+    let q0 = b.add_named_query("revenue_by_date", 90.0);
+    b.add_plan(q0, vec![i0], 20.0);
+    b.add_plan(q0, vec![i1], 45.0);
+    let q1 = b.add_named_query("region_segment", 70.0);
+    b.add_plan(q1, vec![i2], 15.0);
+    b.add_plan(q1, vec![i2, i3], 40.0);
+    let q2 = b.add_named_query("brand_share", 50.0);
+    b.add_plan(q2, vec![i4], 18.0);
+    b.add_plan(q2, vec![i4, i5], 30.0);
+    let q3 = b.add_named_query("late_shipments", 60.0);
+    b.add_plan(q3, vec![i5], 25.0);
+    b.add_plan(q3, vec![i0, i5], 38.0);
+    b.add_build_interaction(i1, i0, 2.0);
+    b.add_build_interaction(i3, i2, 1.5);
+    b.add_precedence(i0, i1);
+    b.build().expect("tiny instance is consistent")
+}
+
 /// Formats a duration in minutes the way the paper's tables do: `"<1"` for
 /// under a minute, the rounded number of minutes otherwise, `"DF"` for runs
 /// that did not finish.

@@ -1,0 +1,69 @@
+//! Golden regression tests for the table binaries.
+//!
+//! `table4 --tiny` and `table5 --tiny` run on a hand-specified, RNG-free
+//! instance with node-based (machine-independent) budgets, so their full
+//! stdout is reproducible bit-for-bit. These tests diff that output against
+//! the checked-in expectations — a refactor that silently shifts a paper
+//! number (an objective, a statistic, a label) fails here before it reaches
+//! a figure.
+//!
+//! To bless intentional changes:
+//! `BLESS=1 cargo test -p idd-bench --test golden`
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs a table binary with `--tiny` and compares stdout to the golden file.
+fn check(binary_path: &str, golden_name: &str) {
+    let output = Command::new(binary_path)
+        .arg("--tiny")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {binary_path}: {e}"));
+    assert!(
+        output.status.success(),
+        "{binary_path} --tiny exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let actual = String::from_utf8(output.stdout).expect("table output is UTF-8");
+    let golden_path = golden_dir().join(golden_name);
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &actual).expect("failed to write golden file");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {golden_path:?}: {e} (run with BLESS=1)"));
+    if actual != expected {
+        let diff: Vec<String> = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .filter(|(_, (e, a))| e != a)
+            .map(|(k, (e, a))| format!("line {}:\n  expected: {e}\n  actual:   {a}", k + 1))
+            .collect();
+        panic!(
+            "{golden_name} drifted from the checked-in expectation \
+             (BLESS=1 to accept an intentional change).\n{}\n\
+             [expected {} lines, actual {} lines]",
+            diff.join("\n"),
+            expected.lines().count(),
+            actual.lines().count()
+        );
+    }
+}
+
+#[test]
+fn table4_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_table4"), "table4_tiny.txt");
+}
+
+#[test]
+fn table5_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_table5"), "table5_tiny.txt");
+}

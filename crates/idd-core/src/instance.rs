@@ -136,7 +136,7 @@ impl ProblemInstance {
     }
 
     /// Metadata of one index.
-    pub fn index(&self, id: IndexId) -> &IndexMeta {
+    pub fn index_meta(&self, id: IndexId) -> &IndexMeta {
         &self.indexes[id.raw()]
     }
 

@@ -139,9 +139,9 @@ impl DeploymentSchedule {
             self.objective
         ));
         for b in &self.builds {
-            let name = &instance.index(b.index).name;
+            let name = &instance.index_meta(b.index).name;
             let from = match b.built_from {
-                Some(h) => format!(" (scanning {})", instance.index(h).name),
+                Some(h) => format!(" (scanning {})", instance.index_meta(h).name),
                 None => String::new(),
             };
             out.push_str(&format!(
@@ -158,7 +158,7 @@ impl DeploymentSchedule {
         let mut out = String::new();
         out.push_str("-- generated by idd: deploy in this order\n");
         for b in &self.builds {
-            let meta = instance.index(b.index);
+            let meta = instance.index_meta(b.index);
             let columns = if meta.key_columns.is_empty() {
                 "...".to_string()
             } else {

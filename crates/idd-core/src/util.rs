@@ -25,27 +25,19 @@ pub fn definitely_less(a: f64, b: f64) -> bool {
 
 /// Maximum of two floats treating `NaN` as the identity (never selected).
 pub fn fmax(a: f64, b: f64) -> f64 {
-    if a.is_nan() {
+    if a.is_nan() || (!b.is_nan() && b > a) {
         b
-    } else if b.is_nan() {
-        a
-    } else if a >= b {
-        a
     } else {
-        b
+        a
     }
 }
 
 /// Minimum of two floats treating `NaN` as the identity (never selected).
 pub fn fmin(a: f64, b: f64) -> f64 {
-    if a.is_nan() {
+    if a.is_nan() || (!b.is_nan() && b < a) {
         b
-    } else if b.is_nan() {
-        a
-    } else if a <= b {
-        a
     } else {
-        b
+        a
     }
 }
 
@@ -96,7 +88,7 @@ mod tests {
 
     #[test]
     fn fcmp_orders_nan_last() {
-        let mut v = vec![3.0, f64::NAN, 1.0, 2.0];
+        let mut v = [3.0, f64::NAN, 1.0, 2.0];
         v.sort_by(|a, b| fcmp(*a, *b));
         assert_eq!(&v[..3], &[1.0, 2.0, 3.0]);
         assert!(v[3].is_nan());

@@ -122,10 +122,7 @@ fn main() {
         cp.deployment.as_ref().unwrap().arrow_notation(),
     ));
 
-    println!(
-        "{:<20} {:>12} {:>10}  {}",
-        "solver", "objective", "gap", "order"
-    );
+    println!("{:<20} {:>12} {:>10}  order", "solver", "objective", "gap");
     for (name, objective, order) in &results {
         println!(
             "{:<20} {:>12.0} {:>9.1}%  {}",

@@ -1,0 +1,108 @@
+//! Race a 2-member solver portfolio against a 1-second deadline.
+//!
+//! Demonstrates the unified `Solver` trait and the concurrent anytime
+//! portfolio: a fast local search (VNS) and an exact CP+properties search
+//! share a cancellation token and an atomic incumbent; whichever proves
+//! optimality first stops the other, and their incumbent trajectories are
+//! merged into one portfolio curve.
+//!
+//! Run with `cargo run --release -p idd --example portfolio`
+//! (`-- --time-limit <s>` to change the deadline, `--members <n>` to race
+//! more solvers).
+
+use idd::core::reduce::{reduce, Density, ReduceOptions};
+use idd::prelude::*;
+use idd::solver::exact::{CpConfig, CpSolver};
+
+fn main() {
+    // Tiny argument handling: defaults match the CI smoke run (2 threads,
+    // 1-second deadline).
+    let mut seconds = 1.0;
+    let mut members = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--time-limit" => {
+                if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                    seconds = v;
+                }
+            }
+            "--members" => {
+                if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                    members = v;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let budget = SearchBudget::seconds(seconds);
+
+    // A mid-density TPC-H reduction: small enough for CP+ to prove within
+    // the deadline, large enough that the heuristics matter.
+    let tpch = idd::workloads::tpch_instance().expect("workload generation failed");
+    let instance = reduce(
+        &tpch,
+        ReduceOptions {
+            density: Density::Low,
+            max_indexes: Some(12),
+        },
+    )
+    .expect("reduction failed");
+    println!(
+        "instance: {} indexes, {} queries, {} plans",
+        instance.num_indexes(),
+        instance.num_queries(),
+        instance.num_plans()
+    );
+
+    let mut roster: Vec<Box<dyn Solver>> = vec![
+        Box::new(VnsSolver::new(budget)),
+        Box::new(CpSolver::with_config(CpConfig::with_properties(budget))),
+        Box::new(GreedySolver::new()),
+        Box::new(TabuSolver::new(SwapStrategy::Best, budget)),
+        Box::new(LnsSolver::new(budget)),
+    ];
+    roster.truncate(members.max(1));
+    let portfolio = PortfolioSolver::with_members(budget, roster);
+    println!(
+        "racing {} members {:?} against a {seconds}s deadline\n",
+        portfolio.num_members(),
+        portfolio.member_names()
+    );
+
+    let outcome = portfolio.solve_detailed(&instance);
+
+    println!("member results:");
+    for member in &outcome.members {
+        println!(
+            "  {:<10} {:>12}  outcome {:<5}  {:.3}s  {} nodes",
+            member.solver,
+            if member.is_feasible() {
+                format!("{:.2}", member.objective)
+            } else {
+                "-".to_string()
+            },
+            member.outcome.label(),
+            member.elapsed_seconds,
+            member.nodes
+        );
+    }
+
+    let combined = &outcome.combined;
+    println!(
+        "\nportfolio: objective {:.2} ({}), winner {}, {} total nodes",
+        combined.objective,
+        combined.outcome.label(),
+        outcome.winner().unwrap_or("none"),
+        combined.nodes
+    );
+    println!("merged incumbent trajectory:");
+    for point in combined.trajectory.points() {
+        println!("  {:>8.4}s  {:.2}", point.elapsed_seconds, point.objective);
+    }
+    let deployment = combined
+        .deployment
+        .as_ref()
+        .expect("portfolio found a deployment");
+    println!("deploy in this order: {}", deployment.arrow_notation());
+}

@@ -81,7 +81,7 @@ fn main() {
             .order()
             .iter()
             .take(5)
-            .map(|&i| lost.index(i).name.clone())
+            .map(|&i| lost.index_meta(i).name.clone())
             .collect();
         names.join(" → ")
     });

@@ -157,6 +157,82 @@ proptest! {
     }
 
     #[test]
+    fn trajectory_points_improve_strictly_and_in_time_order(
+        events in proptest::collection::vec((0.0f64..100.0, 1.0f64..1000.0), 0..40)
+    ) {
+        let mut events = events;
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut t = Trajectory::new();
+        for (elapsed, objective) in &events {
+            t.record(*elapsed, *objective);
+        }
+        for pair in t.points().windows(2) {
+            prop_assert!(pair[0].elapsed_seconds <= pair[1].elapsed_seconds,
+                "points out of time order: {pair:?}");
+            prop_assert!(pair[1].objective < pair[0].objective,
+                "non-improving point kept: {pair:?}");
+        }
+        // objective_at is monotone non-increasing in time.
+        let mut probe = 0.0;
+        let mut previous = f64::INFINITY;
+        while probe <= 110.0 {
+            let now = t.objective_at(probe);
+            prop_assert!(now <= previous, "objective_at increased at t={probe}");
+            previous = now;
+            probe += 3.7;
+        }
+        // The final objective is the minimum over every recorded event.
+        let minimum = events.iter().map(|e| e.1).fold(f64::INFINITY, f64::min);
+        if t.is_empty() {
+            prop_assert!(events.is_empty());
+        } else {
+            prop_assert!((t.final_objective() - minimum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trajectory_merge_is_the_pointwise_minimum(
+        (a_events, b_events, probes) in (
+            proptest::collection::vec((0.0f64..50.0, 1.0f64..500.0), 0..20),
+            proptest::collection::vec((0.0f64..50.0, 1.0f64..500.0), 0..20),
+            proptest::collection::vec(0.0f64..60.0, 1..30),
+        )
+    ) {
+        let build = |events: &[(f64, f64)]| {
+            let mut sorted = events.to_vec();
+            sorted.sort_by(|x, y| x.0.total_cmp(&y.0));
+            let mut t = Trajectory::new();
+            for (elapsed, objective) in sorted {
+                t.record(elapsed, objective);
+            }
+            t
+        };
+        let a = build(&a_events);
+        let b = build(&b_events);
+        let merged = a.merge(&b);
+        // Merging is symmetric...
+        prop_assert_eq!(&merged, &b.merge(&a));
+        // ...absorbs the empty trajectory...
+        prop_assert_eq!(&a.merge(&Trajectory::new()), &a);
+        // ...and equals the pointwise minimum of the two step functions.
+        for &t in &probes {
+            let expected = a.objective_at(t).min(b.objective_at(t));
+            let got = merged.objective_at(t);
+            if expected.is_finite() {
+                prop_assert!((got - expected).abs() < 1e-12,
+                    "merge at t={t}: {got} vs min {expected}");
+            } else {
+                prop_assert!(got.is_infinite());
+            }
+        }
+        // The merged points obey the same invariants as any trajectory.
+        for pair in merged.points().windows(2) {
+            prop_assert!(pair[0].elapsed_seconds <= pair[1].elapsed_seconds);
+            prop_assert!(pair[1].objective < pair[0].objective);
+        }
+    }
+
+    #[test]
     fn random_solver_summary_is_internally_consistent(inst in arb_instance(10)) {
         let summary = RandomSolver::new(17).summarize(&inst, 25);
         prop_assert!(summary.minimum <= summary.average + 1e-9);
@@ -164,5 +240,15 @@ proptest! {
         prop_assert!(summary.best.validate(&inst).is_ok());
         let best_area = ObjectiveEvaluator::new(&inst).evaluate_area(&summary.best);
         prop_assert!((best_area - summary.minimum).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn solve_outcome_labels_round_trip() {
+    for outcome in SolveOutcome::ALL {
+        assert_eq!(SolveOutcome::from_label(outcome.label()), Some(outcome));
+    }
+    for bogus in ["", "optimal", "OPT", "df", "feasible"] {
+        assert_eq!(SolveOutcome::from_label(bogus), None);
     }
 }

@@ -68,6 +68,46 @@ impl Trajectory {
         self.points.is_empty()
     }
 
+    /// Merges two incumbent trajectories into their pointwise minimum: the
+    /// merged step function reports, at every time `t`, the best objective
+    /// either input knew at `t`. This is how the portfolio runner combines
+    /// its member trajectories into one.
+    pub fn merge(&self, other: &Trajectory) -> Trajectory {
+        let mut merged = Trajectory::new();
+        let (mut a, mut b) = (
+            self.points.iter().peekable(),
+            other.points.iter().peekable(),
+        );
+        while a.peek().is_some() || b.peek().is_some() {
+            // Advance whichever stream has the earlier next event (ties take
+            // both, one per loop turn).
+            let t = match (a.peek(), b.peek()) {
+                (Some(pa), Some(pb)) => pa.elapsed_seconds.min(pb.elapsed_seconds),
+                (Some(pa), None) => pa.elapsed_seconds,
+                (None, Some(pb)) => pb.elapsed_seconds,
+                (None, None) => unreachable!(),
+            };
+            while a.peek().is_some_and(|p| p.elapsed_seconds <= t) {
+                a.next();
+            }
+            while b.peek().is_some_and(|p| p.elapsed_seconds <= t) {
+                b.next();
+            }
+            let best = self.objective_at(t).min(other.objective_at(t));
+            if best.is_finite() {
+                merged.record(t, best);
+            }
+        }
+        merged
+    }
+
+    /// Merges any number of trajectories into their pointwise minimum.
+    pub fn merge_all<'a>(trajectories: impl IntoIterator<Item = &'a Trajectory>) -> Trajectory {
+        trajectories
+            .into_iter()
+            .fold(Trajectory::new(), |acc, t| acc.merge(t))
+    }
+
     /// Samples the trajectory at evenly spaced times (used to average several
     /// runs for the figures).
     pub fn sample(&self, horizon_seconds: f64, num_samples: usize) -> Vec<TrajectoryPoint> {
@@ -154,6 +194,41 @@ mod tests {
         let samples = a.sample(2.0, 2);
         assert_eq!(samples[0].objective, 100.0);
         assert_eq!(samples[1].objective, 80.0);
+    }
+
+    #[test]
+    fn merge_is_the_pointwise_minimum() {
+        let mut a = Trajectory::new();
+        a.record(1.0, 100.0);
+        a.record(4.0, 60.0);
+        let mut b = Trajectory::new();
+        b.record(2.0, 80.0);
+        b.record(5.0, 70.0); // never the min once a hits 60 at t=4
+        let m = a.merge(&b);
+        for t in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 10.0] {
+            assert_eq!(
+                m.objective_at(t),
+                a.objective_at(t).min(b.objective_at(t)),
+                "at t={t}"
+            );
+        }
+        // Merged points are strictly improving: 100 → 80 → 60.
+        let objectives: Vec<f64> = m.points().iter().map(|p| p.objective).collect();
+        assert_eq!(objectives, vec![100.0, 80.0, 60.0]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_merge_all_folds() {
+        let mut a = Trajectory::new();
+        a.record(1.0, 50.0);
+        let empty = Trajectory::new();
+        assert_eq!(a.merge(&empty), a);
+        assert_eq!(empty.merge(&a), a);
+        let mut b = Trajectory::new();
+        b.record(0.5, 55.0);
+        let all = Trajectory::merge_all([&a, &b, &empty]);
+        assert_eq!(all.objective_at(0.7), 55.0);
+        assert_eq!(all.objective_at(2.0), 50.0);
     }
 
     #[test]

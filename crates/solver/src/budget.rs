@@ -1,5 +1,6 @@
 //! Time and node budgets shared by the search algorithms.
 
+use crate::solver::CancelToken;
 use std::time::{Duration, Instant};
 
 /// A search budget: wall-clock limit and/or node (iteration) limit.
@@ -59,6 +60,20 @@ impl SearchBudget {
             budget: *self,
             started: Instant::now(),
             nodes: 0,
+            cancel: None,
+        }
+    }
+
+    /// Starts a stopwatch that additionally treats a cooperative
+    /// cancellation request as budget exhaustion. Every search loop that
+    /// polls [`BudgetClock::exhausted`] thereby becomes cancellable without
+    /// further changes.
+    pub fn start_cancellable(&self, cancel: &CancelToken) -> BudgetClock {
+        BudgetClock {
+            budget: *self,
+            started: Instant::now(),
+            nodes: 0,
+            cancel: Some(cancel.clone()),
         }
     }
 }
@@ -69,6 +84,7 @@ pub struct BudgetClock {
     budget: SearchBudget,
     started: Instant,
     nodes: u64,
+    cancel: Option<CancelToken>,
 }
 
 impl BudgetClock {
@@ -92,8 +108,19 @@ impl BudgetClock {
         self.nodes
     }
 
-    /// `true` when either limit has been exceeded.
+    /// `true` when cancellation was requested on the attached token (if
+    /// any). Exposed so solvers can distinguish "cancelled by a peer" from
+    /// "ran out of budget" when reporting.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// `true` when either limit has been exceeded or cancellation was
+    /// requested.
     pub fn exhausted(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
         if let Some(limit) = self.budget.node_limit {
             if self.nodes >= limit {
                 return true;
@@ -134,6 +161,19 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         assert!(clock.exhausted());
         assert!(clock.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn cancellation_exhausts_the_clock() {
+        use crate::solver::CancelToken;
+        let token = CancelToken::new();
+        let clock = SearchBudget::unlimited().start_cancellable(&token);
+        assert!(!clock.exhausted());
+        token.cancel();
+        assert!(clock.is_cancelled());
+        assert!(clock.exhausted());
+        // A plain clock is never cancelled.
+        assert!(!SearchBudget::unlimited().start().is_cancelled());
     }
 
     #[test]

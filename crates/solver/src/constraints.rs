@@ -110,8 +110,10 @@ impl OrderConstraints {
 
     /// Registers an alliance: the given indexes must be deployed
     /// consecutively (in any internal order not contradicting the DAG).
+    /// Re-registering a known group is a no-op, so fixed-point analysis
+    /// rounds do not accumulate duplicates.
     pub fn add_alliance(&mut self, members: Vec<IndexId>) {
-        if members.len() >= 2 {
+        if members.len() >= 2 && !self.alliances.contains(&members) {
             self.alliances.push(members);
         }
     }

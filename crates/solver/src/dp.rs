@@ -9,8 +9,11 @@
 //! interaction-guided greedy (and later the local searches) outperform it in
 //! Table 7.
 
+use crate::budget::SearchBudget;
+use crate::constraints::OrderConstraints;
 use crate::mincut::min_cut_partition;
 use crate::result::SolveResult;
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use std::time::Instant;
 
@@ -133,7 +136,25 @@ impl DpSolver {
         let weights = Self::interaction_weights(instance);
         let all: Vec<usize> = (0..instance.num_indexes()).collect();
         let order = self.order_subset(instance, &evaluator, &weights, &all);
-        Deployment::new(order.into_iter().map(IndexId::new).collect())
+        // Schnaitter's algorithm predates hard precedence constraints, so the
+        // cluster merge can emit an index before its required predecessor.
+        // Repair with a stable topological pass: emit indexes in DP order,
+        // but an index whose predecessors are still missing waits until they
+        // have been emitted.
+        let constraints = OrderConstraints::from_instance(instance);
+        let n = instance.num_indexes();
+        let mut placed = vec![false; n];
+        let mut repaired: Vec<IndexId> = Vec::with_capacity(n);
+        while repaired.len() < n {
+            let next = order
+                .iter()
+                .map(|&raw| IndexId::new(raw))
+                .find(|&i| !placed[i.raw()] && constraints.can_place(i, &placed))
+                .expect("hard precedence constraints are acyclic");
+            placed[next.raw()] = true;
+            repaired.push(next);
+        }
+        Deployment::new(repaired)
     }
 
     /// Runs the DP baseline and wraps the result.
@@ -142,6 +163,32 @@ impl DpSolver {
         let deployment = self.construct(instance);
         let objective = ObjectiveEvaluator::new(instance).evaluate_area(&deployment);
         SolveResult::heuristic("dp", deployment, objective, started.elapsed().as_secs_f64())
+    }
+}
+
+impl Solver for DpSolver {
+    fn name(&self) -> &'static str {
+        "dp"
+    }
+
+    /// The DP baseline is a one-shot construction; see
+    /// [`GreedySolver`](crate::greedy::GreedySolver)'s `Solver` impl for the
+    /// budget/trajectory conventions shared by constructive heuristics.
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        _budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        if ctx.is_cancelled() {
+            return SolveResult::did_not_finish(self.name(), 0.0, 0);
+        }
+        let mut result = self.solve(instance);
+        result
+            .trajectory
+            .record(result.elapsed_seconds, result.objective);
+        ctx.publish(result.objective);
+        result
     }
 }
 
@@ -178,9 +225,9 @@ mod tests {
     fn weights_are_symmetric_and_positive_for_interacting_pairs() {
         let inst = instance();
         let w = DpSolver::interaction_weights(&inst);
-        for a in 0..6 {
-            for b in 0..6 {
-                assert!((w[a][b] - w[b][a]).abs() < 1e-9);
+        for (a, row) in w.iter().enumerate() {
+            for (b, &value) in row.iter().enumerate() {
+                assert!((value - w[b][a]).abs() < 1e-9);
             }
         }
         // The within-plan pair (i0, i1) has weight ≥ 50/2.
@@ -210,6 +257,24 @@ mod tests {
         let dp = eval.evaluate_area(&DpSolver::new().construct(&inst));
         let greedy = eval.evaluate_area(&GreedySolver::new().construct(&inst));
         assert!(greedy <= dp * 1.05, "greedy {greedy} vs dp {dp}");
+    }
+
+    #[test]
+    fn repairs_hard_precedence_violations() {
+        // Make the precedence target far more attractive than its
+        // predecessor so the raw DP merge would emit it first.
+        let mut b = ProblemInstance::builder("dp-prec");
+        let slow = b.add_index(9.0);
+        let fast = b.add_index(1.0);
+        let other = b.add_index(2.0);
+        let q = b.add_query(80.0);
+        b.add_plan(q, vec![fast], 50.0);
+        b.add_plan(q, vec![other], 10.0);
+        b.add_precedence(slow, fast);
+        let inst = b.build().unwrap();
+        let d = DpSolver::new().construct(&inst);
+        assert!(d.is_valid_for(&inst));
+        assert!(d.position_of(slow).unwrap() < d.position_of(fast).unwrap());
     }
 
     #[test]

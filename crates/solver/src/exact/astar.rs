@@ -14,6 +14,7 @@ use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::result::{SolveOutcome, SolveResult};
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -99,12 +100,18 @@ impl AStarSolver {
 
     /// Runs the search.
     pub fn solve(&self, instance: &ProblemInstance) -> SolveResult {
+        self.solve_in(instance, &SolveContext::new())
+    }
+
+    /// Runs the search inside a shared [`SolveContext`] (cancellable; A*
+    /// only ever has a solution at the very end, which is published then).
+    pub fn solve_in(&self, instance: &ProblemInstance, ctx: &SolveContext) -> SolveResult {
         let n = instance.num_indexes();
         let words = n.div_ceil(64);
         let evaluator = ObjectiveEvaluator::new(instance);
         let bound = LowerBound::new(instance);
         let constraints = OrderConstraints::from_instance(instance);
-        let mut clock = self.config.budget.start();
+        let mut clock = self.config.budget.start_cancellable(ctx.cancel_token());
 
         // g-values and parent pointers (subset → (previous subset, index)).
         let mut best_g: HashMap<SubsetKey, f64> = HashMap::new();
@@ -157,6 +164,7 @@ impl AStarSolver {
                 order_rev.reverse();
                 let deployment = Deployment::new(order_rev);
                 let objective = evaluator.evaluate_area(&deployment);
+                ctx.publish(objective);
                 let mut trajectory = crate::anytime::Trajectory::new();
                 trajectory.record(clock.elapsed_seconds(), objective);
                 return SolveResult {
@@ -207,6 +215,23 @@ impl AStarSolver {
         }
 
         SolveResult::did_not_finish("astar", clock.elapsed_seconds(), clock.nodes())
+    }
+}
+
+impl Solver for AStarSolver {
+    fn name(&self) -> &'static str {
+        "astar"
+    }
+
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        let mut config = self.config.clone();
+        config.budget = budget;
+        AStarSolver::with_config(config).solve_in(instance, ctx)
     }
 }
 

@@ -22,29 +22,20 @@ use crate::exact::bounds::LowerBound;
 use crate::exact::state::SearchState;
 use crate::properties::{self, AnalysisOptions};
 use crate::result::{SolveOutcome, SolveResult};
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ProblemInstance};
 
 /// Configuration of the CP solver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CpConfig {
     /// Time / node budget.
     pub budget: SearchBudget,
     /// Property analysis to run before the search (`AnalysisOptions::none()`
     /// reproduces the paper's plain "CP" row, `AnalysisOptions::all()` the
-    /// "CP+" row).
+    /// "CP+" row; the default is `all()`).
     pub analysis: AnalysisOptions,
     /// Optional warm-start incumbent (e.g. the greedy order).
     pub initial: Option<Deployment>,
-}
-
-impl Default for CpConfig {
-    fn default() -> Self {
-        Self {
-            budget: SearchBudget::default(),
-            analysis: AnalysisOptions::all(),
-            initial: None,
-        }
-    }
 }
 
 impl CpConfig {
@@ -76,6 +67,7 @@ pub struct CpSolver {
 struct SearchContext<'a> {
     instance: &'a ProblemInstance,
     constraints: &'a OrderConstraints,
+    shared: &'a SolveContext,
     bound: LowerBound,
     clock: BudgetClock,
     best_area: f64,
@@ -100,8 +92,14 @@ impl CpSolver {
 
     /// Runs the search.
     pub fn solve(&self, instance: &ProblemInstance) -> SolveResult {
+        self.solve_in(instance, &SolveContext::new())
+    }
+
+    /// Runs the search inside a shared [`SolveContext`] (cancellable, and
+    /// publishing every incumbent improvement).
+    pub fn solve_in(&self, instance: &ProblemInstance, shared: &SolveContext) -> SolveResult {
         let analysis = properties::analyze(instance, self.config.analysis);
-        self.solve_with_constraints(instance, &analysis.constraints)
+        self.solve_with_constraints_in(instance, &analysis.constraints, shared)
     }
 
     /// Runs the search against an externally prepared constraint set (used by
@@ -111,10 +109,21 @@ impl CpSolver {
         instance: &ProblemInstance,
         constraints: &OrderConstraints,
     ) -> SolveResult {
-        let clock = self.config.budget.start();
+        self.solve_with_constraints_in(instance, constraints, &SolveContext::new())
+    }
+
+    /// [`CpSolver::solve_with_constraints`] inside a shared context.
+    pub fn solve_with_constraints_in(
+        &self,
+        instance: &ProblemInstance,
+        constraints: &OrderConstraints,
+        shared: &SolveContext,
+    ) -> SolveResult {
+        let clock = self.config.budget.start_cancellable(shared.cancel_token());
         let mut ctx = SearchContext {
             instance,
             constraints,
+            shared,
             bound: LowerBound::new(instance),
             clock,
             best_area: f64::INFINITY,
@@ -131,6 +140,7 @@ impl CpSolver {
                 ctx.best_area = area;
                 ctx.best_order = Some(initial.order().to_vec());
                 ctx.trajectory.record(ctx.clock.elapsed_seconds(), area);
+                ctx.shared.publish(area);
             }
         }
 
@@ -216,6 +226,7 @@ impl CpSolver {
                 ctx.best_order = Some(order.clone());
                 ctx.trajectory
                     .record(ctx.clock.elapsed_seconds(), state.area());
+                ctx.shared.publish(state.area());
             }
             return;
         }
@@ -270,6 +281,29 @@ impl CpSolver {
     }
 }
 
+impl Solver for CpSolver {
+    fn name(&self) -> &'static str {
+        // The paper's naming: "cp+" once the Section-5 property constraints
+        // participate, plain "cp" otherwise.
+        if self.config.analysis == AnalysisOptions::none() {
+            "cp"
+        } else {
+            "cp+"
+        }
+    }
+
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        let mut config = self.config.clone();
+        config.budget = budget;
+        CpSolver::with_config(config).solve_in(instance, ctx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,7 +329,7 @@ mod tests {
         let eval = ObjectiveEvaluator::new(instance);
         permutations(instance.num_indexes())
             .into_iter()
-            .map(|p| Deployment::from_raw(p))
+            .map(Deployment::from_raw)
             .filter(|d| d.is_valid_for(instance))
             .map(|d| eval.evaluate_area(&d))
             .fold(f64::INFINITY, f64::min)

@@ -23,6 +23,7 @@ use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::result::{SolveOutcome, SolveResult};
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -134,11 +135,17 @@ impl MipSolver {
 
     /// Runs the branch-and-bound.
     pub fn solve(&self, instance: &ProblemInstance) -> SolveResult {
+        self.solve_in(instance, &SolveContext::new())
+    }
+
+    /// Runs the branch-and-bound inside a shared [`SolveContext`]
+    /// (cancellable, publishing incumbent improvements).
+    pub fn solve_in(&self, instance: &ProblemInstance, ctx: &SolveContext) -> SolveResult {
         let n = instance.num_indexes();
         let evaluator = ObjectiveEvaluator::new(instance);
         let bound = LowerBound::new(instance);
         let constraints = OrderConstraints::from_instance(instance);
-        let mut clock = self.config.budget.start();
+        let mut clock = self.config.budget.start_cancellable(ctx.cancel_token());
 
         // Time quantum of the discretization.
         let total_cost = instance.total_base_build_cost();
@@ -187,6 +194,7 @@ impl MipSolver {
                     best_area = node.area;
                     best_order = Some(node.order.clone());
                     trajectory.record(clock.elapsed_seconds(), node.area);
+                    ctx.publish(node.area);
                 }
                 continue;
             }
@@ -235,6 +243,23 @@ impl MipSolver {
             },
             None => SolveResult::did_not_finish("mip", elapsed, nodes),
         }
+    }
+}
+
+impl Solver for MipSolver {
+    fn name(&self) -> &'static str {
+        "mip"
+    }
+
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        let mut config = self.config.clone();
+        config.budget = budget;
+        MipSolver::with_config(config).solve_in(instance, ctx)
     }
 }
 

@@ -8,8 +8,10 @@
 //! this greedy from a naive benefit/cost ranking: it values indexes that
 //! unlock future multi-index plans.
 
+use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::result::SolveResult;
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use std::time::Instant;
 
@@ -160,6 +162,36 @@ impl GreedySolver {
             objective,
             started.elapsed().as_secs_f64(),
         )
+    }
+}
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        if self.config.interaction_credit {
+            "greedy"
+        } else {
+            "greedy-naive"
+        }
+    }
+
+    /// Greedy is a one-shot construction: the budget only gates whether it
+    /// starts at all (cancellation), and the single solution it produces is
+    /// recorded as a one-point trajectory and published to the context.
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        _budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        if ctx.is_cancelled() {
+            return SolveResult::did_not_finish(self.name(), 0.0, 0);
+        }
+        let mut result = self.solve(instance);
+        result
+            .trajectory
+            .record(result.elapsed_seconds, result.objective);
+        ctx.publish(result.objective);
+        result
     }
 }
 

@@ -19,6 +19,17 @@
 //! * [`local`] — local search: Tabu search (best-swap and first-swap),
 //!   Large Neighborhood Search and Variable Neighborhood Search on top of the
 //!   CP reinsertion search (Section 7).
+//! * [`solver`] — the unified [`Solver`] trait every
+//!   technique above implements (instance + budget + cancellation context
+//!   in, [`SolveResult`] out), plus the lock-free
+//!   [`SharedIncumbent`] and
+//!   [`CancelToken`] that let solvers cooperate
+//!   across threads.
+//! * [`portfolio`] — a concurrent anytime portfolio: member solvers race one
+//!   wall-clock deadline on `std::thread`s, publish incumbents to the shared
+//!   atomic best, cancel the race once a proof lands, and merge their
+//!   trajectories into one (Section 7's "different solvers win at different
+//!   budgets" observation, operationalised).
 //! * [`constraints`], [`anytime`], [`budget`], [`result`] — shared
 //!   infrastructure: precedence-constraint closures, objective-vs-time
 //!   trajectories (Figures 11–13), time/node budgets and solver reports.
@@ -34,9 +45,11 @@ pub mod exact;
 pub mod greedy;
 pub mod local;
 pub mod mincut;
+pub mod portfolio;
 pub mod properties;
 pub mod random;
 pub mod result;
+pub mod solver;
 
 pub mod prelude;
 
@@ -45,5 +58,7 @@ pub use budget::SearchBudget;
 pub use constraints::OrderConstraints;
 pub use dp::DpSolver;
 pub use greedy::GreedySolver;
+pub use portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSolver};
 pub use random::RandomSolver;
 pub use result::{SolveOutcome, SolveResult};
+pub use solver::{CancelToken, SharedIncumbent, SolveContext, Solver};

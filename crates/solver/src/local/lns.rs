@@ -11,9 +11,11 @@ use crate::anytime::Trajectory;
 use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
+use crate::greedy::GreedySolver;
 use crate::local::reinsert;
 use crate::properties::{self, AnalysisOptions};
 use crate::result::{SolveOutcome, SolveResult};
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -71,18 +73,30 @@ impl LnsSolver {
 
     /// Improves `initial` until the budget runs out.
     pub fn solve(&self, instance: &ProblemInstance, initial: Deployment) -> SolveResult {
+        self.solve_in(instance, initial, &SolveContext::new())
+    }
+
+    /// [`LnsSolver::solve`] inside a shared [`SolveContext`] (cancellable,
+    /// publishing incumbent improvements).
+    pub fn solve_in(
+        &self,
+        instance: &ProblemInstance,
+        initial: Deployment,
+        ctx: &SolveContext,
+    ) -> SolveResult {
         let n = instance.num_indexes();
         let analysis = properties::analyze(instance, self.config.analysis);
         let constraints: &OrderConstraints = &analysis.constraints;
         let bound = LowerBound::new(instance);
         let evaluator = ObjectiveEvaluator::new(instance);
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut clock = self.config.budget.start();
+        let mut clock = self.config.budget.start_cancellable(ctx.cancel_token());
 
         let mut current = initial;
         let mut current_area = evaluator.evaluate_area(&current);
         let mut trajectory = Trajectory::new();
         trajectory.record(clock.elapsed_seconds(), current_area);
+        ctx.publish(current_area);
 
         let relax_count =
             ((n as f64 * self.config.relax_fraction).ceil() as usize).clamp(2.min(n), n);
@@ -117,6 +131,7 @@ impl LnsSolver {
                 current = Deployment::new(order);
                 current_area = result.area;
                 trajectory.record(clock.elapsed_seconds(), current_area);
+                ctx.publish(current_area);
             }
         }
 
@@ -132,10 +147,29 @@ impl LnsSolver {
     }
 }
 
+impl Solver for LnsSolver {
+    fn name(&self) -> &'static str {
+        "lns"
+    }
+
+    /// Starts from the interaction-guided greedy order and improves it under
+    /// `budget`.
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        let initial = GreedySolver::new().construct(instance);
+        let mut config = self.config.clone();
+        config.budget = budget;
+        LnsSolver::with_config(config).solve_in(instance, initial, ctx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::GreedySolver;
 
     fn instance() -> ProblemInstance {
         let mut b = ProblemInstance::builder("lns");

@@ -167,8 +167,7 @@ pub(crate) fn swap_is_feasible(
                           // `late` moves to position lo: nothing between lo..hi may be required
                           // before it, and it must not be required after `early`... the pairwise
                           // check against every index in the window (inclusive) covers both.
-    for pos in lo..=hi {
-        let other = order[pos];
+    for &other in &order[lo..=hi] {
         if other != late && constraints.must_precede(other, late) {
             return false;
         }

@@ -16,8 +16,10 @@
 use crate::anytime::Trajectory;
 use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
+use crate::greedy::GreedySolver;
 use crate::local::swap_is_feasible;
 use crate::result::{SolveOutcome, SolveResult};
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, PrefixEvaluator, ProblemInstance};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -80,9 +82,20 @@ impl TabuSolver {
 
     /// Improves `initial` until the budget runs out.
     pub fn solve(&self, instance: &ProblemInstance, initial: Deployment) -> SolveResult {
+        self.solve_in(instance, initial, &SolveContext::new())
+    }
+
+    /// [`TabuSolver::solve`] inside a shared [`SolveContext`] (cancellable,
+    /// publishing incumbent improvements).
+    pub fn solve_in(
+        &self,
+        instance: &ProblemInstance,
+        initial: Deployment,
+        ctx: &SolveContext,
+    ) -> SolveResult {
         let n = instance.num_indexes();
         let constraints = OrderConstraints::from_instance(instance);
-        let mut clock = self.config.budget.start();
+        let mut clock = self.config.budget.start_cancellable(ctx.cancel_token());
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
 
         let mut evaluator = PrefixEvaluator::new(instance, initial.clone());
@@ -90,6 +103,7 @@ impl TabuSolver {
         let mut best_area = evaluator.base_area();
         let mut trajectory = Trajectory::new();
         trajectory.record(clock.elapsed_seconds(), best_area);
+        ctx.publish(best_area);
 
         // tabu_until[i] = first iteration at which index i may move again.
         let mut tabu_until = vec![0usize; n];
@@ -157,6 +171,7 @@ impl TabuSolver {
                 best_area = area;
                 best_order = evaluator.base().clone();
                 trajectory.record(clock.elapsed_seconds(), best_area);
+                ctx.publish(best_area);
             }
         }
 
@@ -172,10 +187,32 @@ impl TabuSolver {
     }
 }
 
+impl Solver for TabuSolver {
+    fn name(&self) -> &'static str {
+        match self.config.strategy {
+            SwapStrategy::Best => "ts-bswap",
+            SwapStrategy::First => "ts-fswap",
+        }
+    }
+
+    /// Starts from the interaction-guided greedy order (the paper's setup
+    /// for every local search) and improves it under `budget`.
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        let initial = GreedySolver::new().construct(instance);
+        let mut config = self.config.clone();
+        config.budget = budget;
+        TabuSolver::with_config(config).solve_in(instance, initial, ctx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::GreedySolver;
     use idd_core::{IndexId, ObjectiveEvaluator};
 
     fn instance() -> ProblemInstance {

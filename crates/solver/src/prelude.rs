@@ -9,6 +9,8 @@ pub use crate::greedy::{GreedyConfig, GreedySolver};
 pub use crate::local::{
     LnsConfig, LnsSolver, SwapStrategy, TabuConfig, TabuSolver, VnsConfig, VnsSolver,
 };
+pub use crate::portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSolver};
 pub use crate::properties::{analyze, AnalysisOptions, AnalysisReport};
 pub use crate::random::{RandomSolver, RandomSummary};
 pub use crate::result::{SolveOutcome, SolveResult};
+pub use crate::solver::{CancelToken, SharedIncumbent, SolveContext, Solver};

@@ -2,11 +2,39 @@
 //!
 //! An *alliance* is a set of indexes that appear in query plans only as a
 //! complete group (no member ever appears in a plan without all the others)
-//! and whose members do not speed up the build of any outside index. Building
-//! only part of an alliance yields no query benefit, so some optimal solution
+//! and whose members have no couplings to outside indexes. Building only
+//! part of an alliance yields no query benefit, so some optimal solution
 //! builds the members consecutively — the search can glue them together.
+//!
+//! "No couplings" means all three of:
+//!
+//! * no member speeds up the build of an outside index (delaying the member
+//!   to join its group could make that outside build more expensive);
+//! * no member's own build is sped up by an outside index (advancing the
+//!   member to join its group could forfeit that saving);
+//! * no member participates in a hard precedence with an outside index
+//!   (gluing would implicitly reorder the outsider relative to the group,
+//!   which the constraint may forbid — this is what made the glued "optimum"
+//!   on a reduced instance worse than the true one before the check existed).
 
 use idd_core::{IndexId, ProblemInstance};
+
+/// `true` when `member` has no build-interaction or precedence coupling with
+/// any index outside `members`.
+fn externally_uncoupled(instance: &ProblemInstance, member: IndexId, members: &[IndexId]) -> bool {
+    instance
+        .helps(member)
+        .iter()
+        .all(|(target, _)| members.contains(target))
+        && instance
+            .helpers_of(member)
+            .iter()
+            .all(|(helper, _)| members.contains(helper))
+        && instance.precedences().iter().all(|p| {
+            (p.before != member && p.after != member)
+                || (members.contains(&p.before) && members.contains(&p.after))
+        })
+}
 
 /// Detects alliance groups. Each returned group has at least two members.
 pub fn detect(instance: &ProblemInstance) -> Vec<Vec<IndexId>> {
@@ -34,15 +62,12 @@ pub fn detect(instance: &ProblemInstance) -> Vec<Vec<IndexId>> {
     let mut result: Vec<Vec<IndexId>> = groups
         .into_values()
         .filter(|members| members.len() >= 2)
-        // Members must not help building any outside index (Appendix D.2's
-        // "no external interactions for building cost improvements").
+        // Appendix D.2's "no external interactions": every member must be
+        // free of build-interaction and precedence couplings to outsiders.
         .filter(|members| {
-            members.iter().all(|&m| {
-                instance
-                    .helps(m)
-                    .iter()
-                    .all(|(target, _)| members.contains(target))
-            })
+            members
+                .iter()
+                .all(|&m| externally_uncoupled(instance, m, members))
         })
         .collect();
     for g in &mut result {
@@ -115,6 +140,49 @@ mod tests {
         let q = b.add_query(50.0);
         b.add_plan(q, vec![i0, i1], 20.0);
         b.add_build_interaction(i1, i0, 2.0); // inside the group: fine
+        let inst = b.build().unwrap();
+        assert_eq!(detect(&inst), vec![vec![i0, i1]]);
+    }
+
+    #[test]
+    fn external_build_helper_of_a_member_disqualifies_an_alliance() {
+        let mut b = ProblemInstance::builder("helped");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(4.0);
+        let i2 = b.add_index(4.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 20.0);
+        let q2 = b.add_query(30.0);
+        b.add_plan(q2, vec![i2], 5.0);
+        // The outside index i2 helps build the member i0: gluing i0 forward
+        // to its group could forfeit that saving.
+        b.add_build_interaction(i0, i2, 2.0);
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn external_precedence_disqualifies_an_alliance() {
+        let mut b = ProblemInstance::builder("prec");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(4.0);
+        let i2 = b.add_index(4.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 20.0);
+        let q2 = b.add_query(30.0);
+        b.add_plan(q2, vec![i2], 5.0);
+        // A hard precedence couples the member i0 to the outsider i2.
+        b.add_precedence(i0, i2);
+        let inst = b.build().unwrap();
+        assert!(detect(&inst).is_empty());
+
+        // Purely internal precedences do not disqualify the group.
+        let mut b = ProblemInstance::builder("prec-internal");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(4.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 20.0);
+        b.add_precedence(i0, i1);
         let inst = b.build().unwrap();
         assert_eq!(detect(&inst), vec![vec![i0, i1]]);
     }

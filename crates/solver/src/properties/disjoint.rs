@@ -14,11 +14,21 @@
 
 use idd_core::{IndexId, ProblemInstance};
 
-/// `true` when the index has no query or build interaction with any other
-/// index.
+/// `true` when the index has no query, build or precedence interaction with
+/// any other index.
 fn is_disjoint(instance: &ProblemInstance, index: IndexId) -> bool {
     // No build interactions in either direction.
     if !instance.helpers_of(index).is_empty() || !instance.helps(index).is_empty() {
+        return false;
+    }
+    // No hard precedence in either direction: a precedence-coupled index is
+    // not freely movable, so the density-exchange argument does not apply to
+    // it (ordering it by density can cut off every optimal solution).
+    if instance
+        .precedences()
+        .iter()
+        .any(|p| p.before == index || p.after == index)
+    {
         return false;
     }
     let plans = instance.plans_using_index(index);
@@ -141,6 +151,29 @@ mod tests {
         b.add_build_interaction(a, c, 1.0);
         let inst = b.build().unwrap();
         assert!(detect(&inst).is_empty());
+    }
+
+    #[test]
+    fn hard_precedence_breaks_disjointness() {
+        // The denser index is chained behind a third index by a hard
+        // precedence; ordering it before the sparser one by density would
+        // cut off orders that build the sparser index first, which can be
+        // the only optima.
+        let mut b = ProblemInstance::builder("prec");
+        let gate = b.add_index(4.0);
+        let dense = b.add_index(2.0);
+        let sparse = b.add_index(5.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![dense], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![sparse], 10.0);
+        let q2 = b.add_query(40.0);
+        b.add_plan(q2, vec![gate], 5.0);
+        b.add_precedence(gate, dense);
+        let inst = b.build().unwrap();
+        // `dense` is precedence-coupled, `sparse` and `gate` still pair up.
+        let pairs = detect(&inst);
+        assert!(!pairs.iter().any(|&(a, b)| a == dense || b == dense));
     }
 
     #[test]

@@ -157,10 +157,11 @@ pub fn analyze(
     let mut added = 0;
     for raw in 0..n {
         let other = IndexId::new(raw);
-        if other != first && !constraints.must_precede(other, first) {
-            if constraints.add_before(other, first) {
-                added = 1;
-            }
+        if other != first
+            && !constraints.must_precede(other, first)
+            && constraints.add_before(other, first)
+        {
+            added = 1;
         }
     }
     added

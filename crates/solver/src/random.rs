@@ -1,8 +1,10 @@
 //! Random-permutation baselines (the "Random (AVG)" / "Random (MIN)" columns
 //! of Table 7).
 
+use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
-use crate::result::SolveResult;
+use crate::result::{SolveOutcome, SolveResult};
+use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -44,8 +46,19 @@ impl RandomSolver {
     /// Generates one random feasible permutation (precedence-aware: indexes
     /// are drawn uniformly among those whose predecessors are already placed).
     pub fn random_deployment(&self, instance: &ProblemInstance, rng: &mut impl Rng) -> Deployment {
-        let n = instance.num_indexes();
         let constraints = OrderConstraints::from_instance(instance);
+        self.random_deployment_with(instance, &constraints, rng)
+    }
+
+    /// [`RandomSolver::random_deployment`] against a prebuilt precedence
+    /// closure, so batch callers pay the closure construction only once.
+    fn random_deployment_with(
+        &self,
+        instance: &ProblemInstance,
+        constraints: &OrderConstraints,
+        rng: &mut impl Rng,
+    ) -> Deployment {
+        let n = instance.num_indexes();
         let mut placed = vec![false; n];
         let mut order = Vec::with_capacity(n);
         for _ in 0..n {
@@ -66,13 +79,14 @@ impl RandomSolver {
     pub fn summarize(&self, instance: &ProblemInstance, samples: usize) -> RandomSummary {
         assert!(samples > 0, "need at least one sample");
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let constraints = OrderConstraints::from_instance(instance);
         let evaluator = ObjectiveEvaluator::new(instance);
         let mut total = 0.0;
         let mut best_area = f64::INFINITY;
         let mut worst_area = f64::NEG_INFINITY;
         let mut best = None;
         for _ in 0..samples {
-            let d = self.random_deployment(instance, &mut rng);
+            let d = self.random_deployment_with(instance, &constraints, &mut rng);
             let area = evaluator.evaluate_area(&d);
             total += area;
             if area > worst_area {
@@ -102,6 +116,43 @@ impl RandomSolver {
             summary.minimum,
             started.elapsed().as_secs_f64(),
         )
+    }
+}
+
+impl Solver for RandomSolver {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    /// Keeps drawing random feasible permutations until the budget (or a
+    /// cancellation) stops it, capped at the paper's 100 samples, tracking
+    /// the best draw as an anytime incumbent.
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult {
+        let mut clock = budget.start_cancellable(ctx.cancel_token());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let constraints = OrderConstraints::from_instance(instance);
+        let evaluator = ObjectiveEvaluator::new(instance);
+        let mut result = SolveResult::did_not_finish(self.name(), 0.0, 0);
+        while !clock.exhausted() && clock.nodes() < 100 {
+            clock.count_node();
+            let d = self.random_deployment_with(instance, &constraints, &mut rng);
+            let area = evaluator.evaluate_area(&d);
+            if area < result.objective {
+                result.objective = area;
+                result.deployment = Some(d);
+                result.outcome = SolveOutcome::Feasible;
+                result.trajectory.record(clock.elapsed_seconds(), area);
+                ctx.publish(area);
+            }
+        }
+        result.elapsed_seconds = clock.elapsed_seconds();
+        result.nodes = clock.nodes();
+        result
     }
 }
 

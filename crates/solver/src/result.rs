@@ -18,6 +18,13 @@ pub enum SolveOutcome {
 }
 
 impl SolveOutcome {
+    /// Every outcome, in severity order (best first).
+    pub const ALL: [SolveOutcome; 3] = [
+        SolveOutcome::Optimal,
+        SolveOutcome::Feasible,
+        SolveOutcome::DidNotFinish,
+    ];
+
     /// Short label used in the experiment tables (`"opt"`, `"feas"`, `"DF"`).
     pub fn label(&self) -> &'static str {
         match self {
@@ -25,6 +32,12 @@ impl SolveOutcome {
             SolveOutcome::Feasible => "feas",
             SolveOutcome::DidNotFinish => "DF",
         }
+    }
+
+    /// Parses a table label back into an outcome (the inverse of
+    /// [`SolveOutcome::label`]).
+    pub fn from_label(label: &str) -> Option<SolveOutcome> {
+        Self::ALL.into_iter().find(|o| o.label() == label)
     }
 }
 
@@ -101,6 +114,14 @@ mod tests {
         assert_eq!(SolveOutcome::Optimal.label(), "opt");
         assert_eq!(SolveOutcome::Feasible.label(), "feas");
         assert_eq!(SolveOutcome::DidNotFinish.label(), "DF");
+    }
+
+    #[test]
+    fn outcome_labels_round_trip() {
+        for outcome in SolveOutcome::ALL {
+            assert_eq!(SolveOutcome::from_label(outcome.label()), Some(outcome));
+        }
+        assert_eq!(SolveOutcome::from_label("nope"), None);
     }
 
     #[test]

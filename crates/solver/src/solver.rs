@@ -1,0 +1,249 @@
+//! The unified [`Solver`] trait and the shared-state primitives behind it.
+//!
+//! Every solution technique in this crate — constructive heuristics, exact
+//! searches and local searches alike — answers the same question: *given a
+//! [`ProblemInstance`] and a [`SearchBudget`], what is the best deployment
+//! order you can find?* The [`Solver`] trait captures exactly that contract
+//! (instance + budget + a [`SolveContext`] in, [`SolveResult`] out), so
+//! callers can hold a `Box<dyn Solver>` and stay agnostic of which technique
+//! runs behind it.
+//!
+//! The [`SolveContext`] carries the two pieces of state that let several
+//! solvers cooperate inside one wall-clock window (the
+//! [`portfolio`](crate::portfolio) runner):
+//!
+//! * a [`CancelToken`] — a shared atomic flag checked by every search loop
+//!   through [`BudgetClock::exhausted`](crate::budget::BudgetClock::exhausted),
+//!   so one thread proving optimality stops the others cooperatively;
+//! * a [`SharedIncumbent`] — the best objective published by *any*
+//!   cooperating solver, maintained lock-free with a compare-and-swap loop
+//!   over the f64 bit pattern.
+//!
+//! Solvers only ever *publish* to the shared incumbent; they never use it to
+//! prune their own search. Pruning against a bound whose deployment lives in
+//! another thread could make an exact solver discard its entire tree and
+//! still report `Optimal` without holding a matching solution, so the proofs
+//! stay sound by construction.
+
+use crate::budget::SearchBudget;
+use crate::result::SolveResult;
+use idd_core::ProblemInstance;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between solver threads.
+///
+/// Cloning the token clones the *handle*, not the flag: all clones observe
+/// and control the same underlying state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Every solver loop holding a clone of this
+    /// token stops at its next budget check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// The best objective value published by any cooperating solver, updated
+/// lock-free across threads.
+///
+/// Objectives are non-negative finite areas (with `f64::INFINITY` as "no
+/// solution yet"), so their IEEE-754 bit patterns order the same way the
+/// values do and a CAS loop over [`AtomicU64`] implements an atomic min.
+#[derive(Debug)]
+pub struct SharedIncumbent {
+    bits: AtomicU64,
+}
+
+impl Default for SharedIncumbent {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+}
+
+impl SharedIncumbent {
+    /// Creates an empty incumbent (best = ∞).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers an objective value; keeps it only if it improves on the
+    /// current best. Returns `true` when the offer became the new best.
+    pub fn offer(&self, objective: f64) -> bool {
+        if !objective.is_finite() {
+            return false;
+        }
+        let mut current = self.bits.load(Ordering::Acquire);
+        loop {
+            if objective >= f64::from_bits(current) {
+                return false;
+            }
+            match self.bits.compare_exchange_weak(
+                current,
+                objective.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The best objective offered so far (∞ when none).
+    pub fn best(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+}
+
+/// Shared state for one (possibly concurrent) solve: a cancellation token
+/// plus the cross-thread incumbent.
+///
+/// Cloning shares both — clones are handles onto the same race.
+#[derive(Debug, Clone, Default)]
+pub struct SolveContext {
+    cancel: CancelToken,
+    incumbent: Arc<SharedIncumbent>,
+}
+
+impl SolveContext {
+    /// A fresh context (not cancelled, incumbent at ∞). This is what
+    /// standalone, single-threaded runs use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// `true` once cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// The shared incumbent.
+    pub fn incumbent(&self) -> &SharedIncumbent {
+        &self.incumbent
+    }
+
+    /// Publishes an objective to the shared incumbent (convenience).
+    pub fn publish(&self, objective: f64) -> bool {
+        self.incumbent.offer(objective)
+    }
+}
+
+/// The unified solver interface: instance + budget + context in,
+/// [`SolveResult`] out.
+///
+/// Implementations must
+///
+/// * honour `budget` (wall-clock and/or node limits) and the context's
+///   cancellation token, stopping cooperatively once either trips —
+///   iterative searches check at every node/iteration; one-shot
+///   constructive heuristics (greedy, dp), whose construction is a fast
+///   atomic step, check at least before starting and may run that single
+///   step to completion;
+/// * publish every incumbent improvement to the context via
+///   [`SolveContext::publish`], so concurrent observers see progress;
+/// * return a [`SolveResult`] whose `objective` matches its `deployment`
+///   (or `DidNotFinish` with no deployment).
+///
+/// The trait method is named `run` (not `solve`) on purpose: every concrete
+/// solver keeps its richer inherent `solve` API, and inherent methods would
+/// shadow a same-named trait method at call sites.
+pub trait Solver: Send + Sync {
+    /// Short identifier used in reports ("greedy", "cp+", "vns", ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs the solver on `instance` under `budget`, cooperating through
+    /// `ctx`.
+    fn run(
+        &self,
+        instance: &ProblemInstance,
+        budget: SearchBudget,
+        ctx: &SolveContext,
+    ) -> SolveResult;
+
+    /// Convenience wrapper for standalone runs: fresh context, no
+    /// cancellation, private incumbent.
+    fn run_standalone(&self, instance: &ProblemInstance, budget: SearchBudget) -> SolveResult {
+        self.run(instance, budget, &SolveContext::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn incumbent_keeps_the_minimum() {
+        let inc = SharedIncumbent::new();
+        assert!(inc.best().is_infinite());
+        assert!(inc.offer(10.0));
+        assert!(!inc.offer(12.0));
+        assert!(inc.offer(7.5));
+        assert_eq!(inc.best(), 7.5);
+    }
+
+    #[test]
+    fn incumbent_rejects_non_finite_offers() {
+        let inc = SharedIncumbent::new();
+        assert!(!inc.offer(f64::INFINITY));
+        assert!(!inc.offer(f64::NAN));
+        assert!(inc.best().is_infinite());
+    }
+
+    #[test]
+    fn incumbent_is_consistent_under_contention() {
+        let inc = Arc::new(SharedIncumbent::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let inc = Arc::clone(&inc);
+                s.spawn(move || {
+                    for k in (0..250).rev() {
+                        inc.offer(1.0 + (t * 250 + k) as f64);
+                    }
+                });
+            }
+        });
+        // The global minimum over every offer is 1.0 (t=0, k=0).
+        assert_eq!(inc.best(), 1.0);
+    }
+
+    #[test]
+    fn context_publish_reaches_clones() {
+        let ctx = SolveContext::new();
+        let other = ctx.clone();
+        ctx.publish(42.0);
+        assert_eq!(other.incumbent().best(), 42.0);
+        other.cancel_token().cancel();
+        assert!(ctx.is_cancelled());
+    }
+}

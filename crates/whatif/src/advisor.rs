@@ -85,17 +85,9 @@ impl PartialOrd for HeapEntry {
 }
 
 /// The index advisor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Advisor {
     config: AdvisorConfig,
-}
-
-impl Default for Advisor {
-    fn default() -> Self {
-        Self {
-            config: AdvisorConfig::default(),
-        }
-    }
 }
 
 impl Advisor {

@@ -130,6 +130,9 @@ fn col(table: &str, column: &str) -> ColumnRef {
 }
 
 /// Builds the 22 TPC-H-like queries.
+// One `push` per query keeps each query's paper reference as a standalone
+// commented block; collapsing into `vec![]` would bury them.
+#[allow(clippy::vec_init_then_push)]
 pub fn queries() -> Vec<QuerySpec> {
     let mut qs = Vec::with_capacity(22);
 
