@@ -5,37 +5,89 @@
 //! portfolio buys over committing to any *one* of them: every member runs
 //! solo under the deadline, then the portfolio races them all concurrently
 //! with a shared incumbent and cooperative cancellation, and the table
-//! compares final objectives, outcomes and the time at which each run first
-//! reached its final objective.
+//! compares final objectives, outcomes, per-member cooperation counters
+//! (`restarts` = stall events, `adoptions` = warm-starts taken from the
+//! shared best deployment) and the time each run first reached its final
+//! objective.
 //!
-//! `--time-limit <s>` changes the per-run deadline (default 3 s); the
-//! instance is a fixed mid-density 16-index TPC-H reduction.
+//! * `--time-limit <s>` changes the per-run deadline (default 3 s); the
+//!   instance is a fixed mid-density 16-index TPC-H reduction.
+//! * `--coop off|warm|steal` selects the portfolio's
+//!   [`CooperationPolicy`] (default `steal`; an invalid value aborts;
+//!   `off` reproduces the PR 2 independent race). Run the binary twice with
+//!   `--coop off` and `--coop steal` to compare the race against the team.
+//! * `--tiny` switches to the hand-specified 6-index instance with
+//!   node-based (machine-independent) budgets, cooperation off and
+//!   optimality-cancellation disabled, so the full output is reproducible
+//!   bit-for-bit — that mode is diffed by the golden regression test.
 
 use idd_bench::{HarnessArgs, Table};
 use idd_core::reduce::{reduce, Density, ReduceOptions};
 use idd_solver::exact::{CpConfig, CpSolver};
+use idd_solver::local::{LnsConfig, TabuConfig, VnsConfig};
+use idd_solver::portfolio::PortfolioConfig;
 use idd_solver::prelude::*;
 
 fn roster(budget: SearchBudget) -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(GreedySolver::new()),
         Box::new(DpSolver::new()),
-        Box::new(TabuSolver::new(SwapStrategy::Best, budget)),
-        Box::new(LnsSolver::new(budget)),
-        Box::new(VnsSolver::new(budget)),
+        Box::new(TabuSolver::with_config(TabuConfig {
+            strategy: SwapStrategy::Best,
+            budget,
+            seed: 0x7AB,
+            ..TabuConfig::default()
+        })),
+        Box::new(LnsSolver::with_config(LnsConfig {
+            budget,
+            seed: 0x1A5,
+            ..LnsConfig::default()
+        })),
+        Box::new(VnsSolver::with_config(VnsConfig {
+            budget,
+            seed: 0x7145,
+            ..VnsConfig::default()
+        })),
         Box::new(CpSolver::with_config(CpConfig::with_properties(budget))),
     ]
 }
 
 fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let mut cooperation = CooperationPolicy::WarmStartSteal;
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--coop" {
+            // An invalid policy aborts: this binary exists to compare
+            // policies, so a typo must never silently run a different
+            // experiment (the shared `FromStr` keeps the vocabulary in sync
+            // with the `portfolio` example).
+            cooperation = raw
+                .next()
+                .ok_or_else(|| "missing value after --coop".to_string())
+                .and_then(|v| v.parse())
+                .unwrap_or_else(|e| {
+                    eprintln!("table8: {e}");
+                    std::process::exit(2);
+                });
+        }
+    }
+
+    if tiny {
+        // Deterministic mode for the golden test: node budgets, cooperation
+        // off, no optimality-cancellation race, no wall-clock columns.
+        run_tiny();
+        return;
+    }
+
     let args = HarnessArgs::parse(HarnessArgs {
         time_limit: 3.0,
         ..HarnessArgs::default()
     });
     let budget = SearchBudget::seconds(args.time_limit);
     println!(
-        "== Table 8: concurrent portfolio vs. single solvers ({}s deadline) ==\n",
-        args.time_limit
+        "== Table 8: concurrent portfolio vs. single solvers ({}s deadline, coop {:?}) ==\n",
+        args.time_limit, cooperation
     );
 
     let tpch = idd_bench::tpch();
@@ -59,6 +111,8 @@ fn main() {
         "run",
         "objective",
         "outcome",
+        "restarts",
+        "adoptions",
         "first-at (s)",
         "elapsed (s)",
         "nodes",
@@ -71,40 +125,33 @@ fn main() {
             best_single = result.objective;
             best_single_name = result.solver.clone();
         }
-        let first_at = result
-            .trajectory
-            .points()
-            .last()
-            .map(|p| format!("{:.3}", p.elapsed_seconds))
-            .unwrap_or_else(|| "-".into());
-        table.row(vec![
-            result.solver.clone(),
-            format!("{:.2}", result.objective),
-            result.outcome.label().to_string(),
-            first_at,
-            format!("{:.3}", result.elapsed_seconds),
-            result.nodes.to_string(),
-        ]);
+        push_row(&mut table, &result, result.solver.clone(), true);
     }
 
-    // The portfolio: same roster, same deadline, raced concurrently.
-    let portfolio = PortfolioSolver::with_members(budget, roster(budget));
+    // The portfolio: same roster, same deadline, raced concurrently under
+    // the selected cooperation policy.
+    let portfolio =
+        PortfolioSolver::with_members(budget, roster(budget)).with_config(PortfolioConfig {
+            budget,
+            cancel_on_optimal: true,
+            cooperation,
+        });
     let outcome = portfolio.solve_detailed(&instance);
+    for member in &outcome.members {
+        push_row(
+            &mut table,
+            member,
+            format!("| {} (in portfolio)", member.solver),
+            true,
+        );
+    }
     let combined = &outcome.combined;
-    let first_at = combined
-        .trajectory
-        .points()
-        .last()
-        .map(|p| format!("{:.3}", p.elapsed_seconds))
-        .unwrap_or_else(|| "-".into());
-    table.row(vec![
+    push_row(
+        &mut table,
+        combined,
         format!("portfolio({})", outcome.members.len()),
-        format!("{:.2}", combined.objective),
-        combined.outcome.label().to_string(),
-        first_at,
-        format!("{:.3}", combined.elapsed_seconds),
-        combined.nodes.to_string(),
-    ]);
+        true,
+    );
     println!("{}", table.render());
 
     println!(
@@ -122,10 +169,106 @@ fn main() {
         gap * 100.0
     );
     println!(
+        "cooperation totals: {} restarts, {} adoptions, {} hints stolen, {} hints published",
+        combined.coop.restarts,
+        combined.coop.adoptions,
+        combined.coop.hints_stolen,
+        combined.coop.hints_published
+    );
+    println!(
         "portfolio incumbent trajectory ({} points):",
         combined.trajectory.points().len()
     );
     for p in combined.trajectory.points() {
         println!("  {:>8.4}s  {:.2}", p.elapsed_seconds, p.objective);
     }
+}
+
+/// Appends one result row; `timed` adds the wall-clock columns (suppressed
+/// in `--tiny` mode, where they would break bit-for-bit reproducibility).
+fn push_row(table: &mut Table, result: &SolveResult, run: String, timed: bool) {
+    let mut row = vec![
+        run,
+        format!("{:.2}", result.objective),
+        result.outcome.label().to_string(),
+        result.coop.restarts.to_string(),
+        result.coop.adoptions.to_string(),
+    ];
+    if timed {
+        let first_at = result
+            .trajectory
+            .points()
+            .last()
+            .map(|p| format!("{:.3}", p.elapsed_seconds))
+            .unwrap_or_else(|| "-".into());
+        row.push(first_at);
+        row.push(format!("{:.3}", result.elapsed_seconds));
+    }
+    row.push(result.nodes.to_string());
+    table.row(row);
+}
+
+/// The golden-tested deterministic mode: the hand-specified 6-index
+/// instance, node budgets, `CooperationPolicy::Off`, no cancellation race —
+/// every number below is machine-independent, and with cooperation off the
+/// members behave exactly like the pre-cooperation (PR 2) portfolio.
+fn run_tiny() {
+    println!("== Table 8 (tiny): concurrent portfolio vs. single solvers ==\n");
+    let instance = idd_bench::tiny();
+    println!(
+        "instance: tiny, {} indexes / {} queries / {} plans\n",
+        instance.num_indexes(),
+        instance.num_queries(),
+        instance.num_plans()
+    );
+    let budget = SearchBudget::nodes(120);
+
+    let mut table = Table::new(vec![
+        "run",
+        "objective",
+        "outcome",
+        "restarts",
+        "adoptions",
+        "nodes",
+    ]);
+    let mut best_single = f64::INFINITY;
+    let mut best_single_name = String::new();
+    for member in roster(budget) {
+        let result = member.run_standalone(&instance, budget);
+        if result.objective < best_single {
+            best_single = result.objective;
+            best_single_name = result.solver.clone();
+        }
+        push_row(&mut table, &result, result.solver.clone(), false);
+    }
+
+    let portfolio =
+        PortfolioSolver::with_members(budget, roster(budget)).with_config(PortfolioConfig {
+            budget,
+            cancel_on_optimal: false,
+            cooperation: CooperationPolicy::Off,
+        });
+    let outcome = portfolio.solve_detailed(&instance);
+    for member in &outcome.members {
+        push_row(
+            &mut table,
+            member,
+            format!("| {} (in portfolio)", member.solver),
+            false,
+        );
+    }
+    push_row(
+        &mut table,
+        &outcome.combined,
+        format!("portfolio({})", outcome.members.len()),
+        false,
+    );
+    println!("{}", table.render());
+
+    println!(
+        "best single solver: {best_single_name} at {best_single:.2}; \
+         portfolio: {:.2} ({})",
+        outcome.combined.objective,
+        outcome.combined.outcome.label(),
+    );
 }

@@ -67,3 +67,14 @@ fn table4_tiny_output_matches_golden() {
 fn table5_tiny_output_matches_golden() {
     check(env!("CARGO_BIN_EXE_table5"), "table5_tiny.txt");
 }
+
+/// `table8 --tiny` pins the portfolio surface: node budgets,
+/// `CooperationPolicy::Off` and no optimality-cancellation race make every
+/// number machine-independent, and with cooperation off the members must
+/// reproduce the pre-cooperation (PR 2) race — any drift in a member's
+/// solo-vs-in-portfolio numbers, or a nonzero restart/adoption count under
+/// the off policy, fails here.
+#[test]
+fn table8_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_table8"), "table8_tiny.txt");
+}

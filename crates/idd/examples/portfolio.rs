@@ -1,14 +1,18 @@
 //! Race a 2-member solver portfolio against a 1-second deadline.
 //!
 //! Demonstrates the unified `Solver` trait and the concurrent anytime
-//! portfolio: a fast local search (VNS) and an exact CP+properties search
-//! share a cancellation token and an atomic incumbent; whichever proves
-//! optimality first stops the other, and their incumbent trajectories are
-//! merged into one portfolio curve.
+//! portfolio: the members share a cancellation token, the *versioned*
+//! incumbent cell (best objective + best deployment order) and the
+//! destroy-neighbourhood hint deque. With `--coop warm` or `--coop steal`
+//! the race becomes a team — stalled members re-seed from the shared best
+//! deployment, and LNS steals relaxation hints that other members
+//! published; with the default `--coop off` the members race independently.
+//! An exact member proving optimality cancels the race either way, and the
+//! member trajectories are merged into one portfolio curve.
 //!
 //! Run with `cargo run --release -p idd --example portfolio`
 //! (`-- --time-limit <s>` to change the deadline, `--members <n>` to race
-//! more solvers).
+//! more solvers, `--coop off|warm|steal` to pick the cooperation policy).
 
 use idd::core::reduce::{reduce, Density, ReduceOptions};
 use idd::prelude::*;
@@ -19,6 +23,7 @@ fn main() {
     // 1-second deadline).
     let mut seconds = 1.0;
     let mut members = 2usize;
+    let mut cooperation = CooperationPolicy::Off;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,6 +36,18 @@ fn main() {
                 if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
                     members = v;
                 }
+            }
+            "--coop" => {
+                // Same strict vocabulary as `table8` (shared FromStr): a
+                // typo aborts instead of silently running another policy.
+                cooperation = args
+                    .next()
+                    .ok_or_else(|| "missing value after --coop".to_string())
+                    .and_then(|v| v.parse())
+                    .unwrap_or_else(|e| {
+                        eprintln!("portfolio: {e}");
+                        std::process::exit(2);
+                    });
             }
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
@@ -55,17 +72,21 @@ fn main() {
         instance.num_plans()
     );
 
+    // The first two members pair a hint *producer* (VNS) with the hint
+    // *consumer* (LNS), so the 2-member CI smoke run exercises the full
+    // warm-start + work-stealing path; CP+ joins at three members and adds
+    // the optimality-proof cancellation story.
     let mut roster: Vec<Box<dyn Solver>> = vec![
         Box::new(VnsSolver::new(budget)),
+        Box::new(LnsSolver::new(budget)),
         Box::new(CpSolver::with_config(CpConfig::with_properties(budget))),
         Box::new(GreedySolver::new()),
         Box::new(TabuSolver::new(SwapStrategy::Best, budget)),
-        Box::new(LnsSolver::new(budget)),
     ];
     roster.truncate(members.max(1));
-    let portfolio = PortfolioSolver::with_members(budget, roster);
+    let portfolio = PortfolioSolver::with_members(budget, roster).with_cooperation(cooperation);
     println!(
-        "racing {} members {:?} against a {seconds}s deadline\n",
+        "racing {} members {:?} against a {seconds}s deadline (coop {cooperation:?})\n",
         portfolio.num_members(),
         portfolio.member_names()
     );
@@ -75,7 +96,8 @@ fn main() {
     println!("member results:");
     for member in &outcome.members {
         println!(
-            "  {:<10} {:>12}  outcome {:<5}  {:.3}s  {} nodes",
+            "  {:<10} {:>12}  outcome {:<5}  {:.3}s  {} nodes  \
+             {} restarts / {} adoptions / {} hints stolen / {} published",
             member.solver,
             if member.is_feasible() {
                 format!("{:.2}", member.objective)
@@ -84,7 +106,11 @@ fn main() {
             },
             member.outcome.label(),
             member.elapsed_seconds,
-            member.nodes
+            member.nodes,
+            member.coop.restarts,
+            member.coop.adoptions,
+            member.coop.hints_stolen,
+            member.coop.hints_published,
         );
     }
 

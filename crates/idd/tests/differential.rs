@@ -207,6 +207,63 @@ fn portfolio_is_never_worse_than_its_best_member() {
 }
 
 #[test]
+fn cooperative_portfolio_matches_the_exact_optimum_and_cancels_all_members() {
+    use idd::solver::{CooperationPolicy, PortfolioConfig, SolveContext};
+
+    for seed in SEEDS.into_iter().take(5) {
+        let instance = random_instance(seed);
+        let constraints = OrderConstraints::from_instance(&instance);
+        let exact = CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
+            .solve(&instance);
+        assert!(exact.is_optimal());
+
+        // Full cooperation on: warm-starts + hint stealing. The CP member
+        // still proves the optimum, the proof must agree with the standalone
+        // one (cooperation may accelerate members but can never distort the
+        // objective), and the race must end with every member cancelled.
+        let budget = SearchBudget::seconds(30.0);
+        let portfolio = PortfolioSolver::recommended(budget).with_config(PortfolioConfig {
+            budget,
+            cancel_on_optimal: true,
+            cooperation: CooperationPolicy::WarmStartSteal,
+        });
+        let ctx = SolveContext::new();
+        let combined = portfolio.run(&instance, budget, &ctx);
+        assert!(combined.is_optimal(), "seed {seed}");
+        assert!(
+            (combined.objective - exact.objective).abs() < 1e-6,
+            "seed {seed}: cooperative portfolio {} vs exact {}",
+            combined.objective,
+            exact.objective
+        );
+        assert_valid(
+            "portfolio(coop)",
+            seed,
+            combined.deployment.as_ref().unwrap(),
+            &instance,
+            &constraints,
+        );
+        // The optimality proof cancelled the shared context, which is what
+        // stopped the other members (the scoped threads have all joined by
+        // the time `run` returns, so the flag being set proves they exited
+        // through the cooperative-cancellation path).
+        assert!(
+            ctx.is_cancelled(),
+            "seed {seed}: the proof must cancel the race"
+        );
+        // The shared cell's final deployment agrees with the proof.
+        let snapshot = ctx
+            .incumbent()
+            .best_deployment()
+            .expect("members published deployments");
+        assert!(
+            snapshot.objective >= combined.objective - 1e-6,
+            "seed {seed}: published deployment beat the proven optimum"
+        );
+    }
+}
+
+#[test]
 fn portfolio_with_proof_matches_the_exact_optimum() {
     for seed in SEEDS.into_iter().take(5) {
         let instance = random_instance(seed);

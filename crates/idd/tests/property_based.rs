@@ -233,6 +233,50 @@ proptest! {
     }
 
     #[test]
+    fn trajectory_merge_keeps_the_minimum_at_identical_timestamps(
+        (a_events, b_events) in (
+            proptest::collection::vec((0usize..6, 1.0f64..500.0), 0..16),
+            proptest::collection::vec((0usize..6, 1.0f64..500.0), 0..16),
+        )
+    ) {
+        // Regression for a PR 2 gap: timestamps drawn from a *coarse grid*
+        // so identical timestamps across (and within) members are the norm,
+        // not a measure-zero accident — several portfolio members publishing
+        // within one timer tick is exactly what a real race produces. The
+        // merged step function must keep the minimum at every tie.
+        let build = |events: &[(usize, f64)]| {
+            let mut sorted = events.to_vec();
+            sorted.sort_by_key(|e| e.0);
+            let mut t = Trajectory::new();
+            for (tick, objective) in sorted {
+                t.record(tick as f64 * 0.5, objective);
+            }
+            t
+        };
+        let a = build(&a_events);
+        let b = build(&b_events);
+        let merged = a.merge(&b);
+        prop_assert_eq!(&merged, &b.merge(&a));
+        // Probe every grid tick plus the midpoints between ticks.
+        for half_tick in 0..14usize {
+            let t = half_tick as f64 * 0.25;
+            let expected = a.objective_at(t).min(b.objective_at(t));
+            let got = merged.objective_at(t);
+            if expected.is_finite() {
+                prop_assert!((got - expected).abs() < 1e-12,
+                    "merge at t={t}: {got} vs min {expected}");
+            } else {
+                prop_assert!(got.is_infinite());
+            }
+        }
+        for pair in merged.points().windows(2) {
+            prop_assert!(pair[0].elapsed_seconds < pair[1].elapsed_seconds,
+                "merged points must have distinct, increasing timestamps: {pair:?}");
+            prop_assert!(pair[1].objective < pair[0].objective);
+        }
+    }
+
+    #[test]
     fn random_solver_summary_is_internally_consistent(inst in arb_instance(10)) {
         let summary = RandomSolver::new(17).summarize(&inst, 25);
         prop_assert!(summary.minimum <= summary.average + 1e-9);

@@ -72,28 +72,39 @@ impl Trajectory {
     /// merged step function reports, at every time `t`, the best objective
     /// either input knew at `t`. This is how the portfolio runner combines
     /// its member trajectories into one.
+    ///
+    /// Points recorded at *identical* timestamps — common once several
+    /// members publish improvements within one timer tick — are handled
+    /// explicitly: both streams advance through the tie and the **minimum**
+    /// of their objectives is kept, never just whichever stream happened to
+    /// be scanned first. The sweep keeps a running best per stream, so it is
+    /// linear in the total number of points (the previous implementation
+    /// re-derived every value through [`Trajectory::objective_at`], which
+    /// rescanned from the start and leaned on point order instead of an
+    /// explicit minimum).
     pub fn merge(&self, other: &Trajectory) -> Trajectory {
         let mut merged = Trajectory::new();
-        let (mut a, mut b) = (
-            self.points.iter().peekable(),
-            other.points.iter().peekable(),
-        );
-        while a.peek().is_some() || b.peek().is_some() {
-            // Advance whichever stream has the earlier next event (ties take
-            // both, one per loop turn).
-            let t = match (a.peek(), b.peek()) {
+        let (a, b) = (&self.points, &other.points);
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+        while i < a.len() || j < b.len() {
+            // Next event time: the earlier head; ties advance both streams
+            // within the same turn.
+            let t = match (a.get(i), b.get(j)) {
                 (Some(pa), Some(pb)) => pa.elapsed_seconds.min(pb.elapsed_seconds),
                 (Some(pa), None) => pa.elapsed_seconds,
                 (None, Some(pb)) => pb.elapsed_seconds,
                 (None, None) => unreachable!(),
             };
-            while a.peek().is_some_and(|p| p.elapsed_seconds <= t) {
-                a.next();
+            while i < a.len() && a[i].elapsed_seconds <= t {
+                best_a = best_a.min(a[i].objective);
+                i += 1;
             }
-            while b.peek().is_some_and(|p| p.elapsed_seconds <= t) {
-                b.next();
+            while j < b.len() && b[j].elapsed_seconds <= t {
+                best_b = best_b.min(b[j].objective);
+                j += 1;
             }
-            let best = self.objective_at(t).min(other.objective_at(t));
+            let best = best_a.min(best_b);
             if best.is_finite() {
                 merged.record(t, best);
             }
@@ -215,6 +226,32 @@ mod tests {
         // Merged points are strictly improving: 100 → 80 → 60.
         let objectives: Vec<f64> = m.points().iter().map(|p| p.objective).collect();
         assert_eq!(objectives, vec![100.0, 80.0, 60.0]);
+    }
+
+    #[test]
+    fn merge_keeps_the_minimum_at_identical_timestamps() {
+        // Two members improving at the identical timestamp: the merged step
+        // must keep the minimum, regardless of merge order.
+        let mut a = Trajectory::new();
+        a.record(1.0, 100.0);
+        a.record(2.0, 40.0);
+        let mut b = Trajectory::new();
+        b.record(1.0, 90.0);
+        b.record(2.0, 60.0);
+        for m in [a.merge(&b), b.merge(&a)] {
+            assert_eq!(m.objective_at(1.0), 90.0);
+            assert_eq!(m.objective_at(2.0), 40.0);
+            let objectives: Vec<f64> = m.points().iter().map(|p| p.objective).collect();
+            assert_eq!(objectives, vec![90.0, 40.0]);
+        }
+        // Same-timestamp runs *within* one stream (several improvements in
+        // one timer tick) resolve to that tick's minimum as well.
+        let mut c = Trajectory::new();
+        c.record(1.0, 95.0);
+        c.record(1.0, 85.0);
+        let m = a.merge(&c);
+        assert_eq!(m.objective_at(1.0), 85.0);
+        assert_eq!(m.objective_at(2.0), 40.0);
     }
 
     #[test]

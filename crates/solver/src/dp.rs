@@ -187,7 +187,9 @@ impl Solver for DpSolver {
         result
             .trajectory
             .record(result.elapsed_seconds, result.objective);
-        ctx.publish(result.objective);
+        if let Some(deployment) = &result.deployment {
+            ctx.publish_deployment(result.objective, deployment.order());
+        }
         result
     }
 }

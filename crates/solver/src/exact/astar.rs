@@ -13,7 +13,7 @@
 use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
-use crate::result::{SolveOutcome, SolveResult};
+use crate::result::{CoopStats, SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use std::cmp::Ordering;
@@ -164,7 +164,7 @@ impl AStarSolver {
                 order_rev.reverse();
                 let deployment = Deployment::new(order_rev);
                 let objective = evaluator.evaluate_area(&deployment);
-                ctx.publish(objective);
+                ctx.publish_deployment(objective, deployment.order());
                 let mut trajectory = crate::anytime::Trajectory::new();
                 trajectory.record(clock.elapsed_seconds(), objective);
                 return SolveResult {
@@ -175,6 +175,7 @@ impl AStarSolver {
                     elapsed_seconds: clock.elapsed_seconds(),
                     nodes: clock.nodes(),
                     trajectory,
+                    coop: CoopStats::default(),
                 };
             }
 

@@ -21,7 +21,7 @@ use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::exact::state::SearchState;
 use crate::properties::{self, AnalysisOptions};
-use crate::result::{SolveOutcome, SolveResult};
+use crate::result::{CoopStats, SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ProblemInstance};
 
@@ -140,7 +140,7 @@ impl CpSolver {
                 ctx.best_area = area;
                 ctx.best_order = Some(initial.order().to_vec());
                 ctx.trajectory.record(ctx.clock.elapsed_seconds(), area);
-                ctx.shared.publish(area);
+                ctx.shared.publish_deployment(area, initial.order());
             }
         }
 
@@ -170,6 +170,7 @@ impl CpSolver {
                 elapsed_seconds: elapsed,
                 nodes,
                 trajectory: ctx.trajectory,
+                coop: CoopStats::default(),
             },
             None => SolveResult::did_not_finish(name, elapsed, nodes),
         }
@@ -226,7 +227,7 @@ impl CpSolver {
                 ctx.best_order = Some(order.clone());
                 ctx.trajectory
                     .record(ctx.clock.elapsed_seconds(), state.area());
-                ctx.shared.publish(state.area());
+                ctx.shared.publish_deployment(state.area(), order);
             }
             return;
         }

@@ -22,7 +22,7 @@
 use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
-use crate::result::{SolveOutcome, SolveResult};
+use crate::result::{CoopStats, SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
 use std::cmp::Ordering;
@@ -180,6 +180,7 @@ impl MipSolver {
                         elapsed_seconds: elapsed,
                         nodes,
                         trajectory,
+                        coop: CoopStats::default(),
                     },
                     None => SolveResult::did_not_finish("mip", elapsed, nodes),
                 };
@@ -194,7 +195,7 @@ impl MipSolver {
                     best_area = node.area;
                     best_order = Some(node.order.clone());
                     trajectory.record(clock.elapsed_seconds(), node.area);
-                    ctx.publish(node.area);
+                    ctx.publish_deployment(node.area, &node.order);
                 }
                 continue;
             }
@@ -240,6 +241,7 @@ impl MipSolver {
                 elapsed_seconds: elapsed,
                 nodes,
                 trajectory,
+                coop: CoopStats::default(),
             },
             None => SolveResult::did_not_finish("mip", elapsed, nodes),
         }

@@ -21,15 +21,19 @@
 //!   CP reinsertion search (Section 7).
 //! * [`solver`] — the unified [`Solver`] trait every
 //!   technique above implements (instance + budget + cancellation context
-//!   in, [`SolveResult`] out), plus the lock-free
-//!   [`SharedIncumbent`] and
-//!   [`CancelToken`] that let solvers cooperate
-//!   across threads.
+//!   in, [`SolveResult`] out), plus the shared-state primitives that let
+//!   solvers cooperate across threads: the versioned [`SharedIncumbent`]
+//!   (lock-free best objective + epoch-counted best deployment),
+//!   [`CancelToken`], the [`NeighborhoodHints`] work-stealing deque and the
+//!   [`CooperationPolicy`] gating who may read what.
 //! * [`portfolio`] — a concurrent anytime portfolio: member solvers race one
-//!   wall-clock deadline on `std::thread`s, publish incumbents to the shared
-//!   atomic best, cancel the race once a proof lands, and merge their
-//!   trajectories into one (Section 7's "different solvers win at different
-//!   budgets" observation, operationalised).
+//!   wall-clock deadline on `std::thread`s, publish incumbents (objective
+//!   *and* order) to the shared best, cancel the race once a proof lands,
+//!   and merge their trajectories into one (Section 7's "different solvers
+//!   win at different budgets" observation, operationalised). Under a
+//!   warm-start [`CooperationPolicy`] the members additionally re-seed from
+//!   each other's incumbents on stall and trade LNS destroy-neighbourhood
+//!   hints — a team, not just a race.
 //! * [`constraints`], [`anytime`], [`budget`], [`result`] — shared
 //!   infrastructure: precedence-constraint closures, objective-vs-time
 //!   trajectories (Figures 11–13), time/node budgets and solver reports.
@@ -60,5 +64,8 @@ pub use dp::DpSolver;
 pub use greedy::GreedySolver;
 pub use portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSolver};
 pub use random::RandomSolver;
-pub use result::{SolveOutcome, SolveResult};
-pub use solver::{CancelToken, SharedIncumbent, SolveContext, Solver};
+pub use result::{CoopStats, SolveOutcome, SolveResult};
+pub use solver::{
+    CancelToken, CooperationPolicy, IncumbentSnapshot, NeighborhoodHints, SharedIncumbent,
+    SolveContext, Solver,
+};

@@ -6,13 +6,20 @@
 //! fixed number of backtracks (the failure limit, 500 in the paper). If the
 //! neighbourhood contains an improvement it becomes the new current solution;
 //! otherwise a new random relaxation is drawn.
+//!
+//! Inside a cooperative portfolio
+//! ([`CooperationPolicy`](crate::solver::CooperationPolicy)) the LNS member
+//! additionally (a) re-seeds from the shared best deployment when it stalls,
+//! and (b) steals destroy-neighbourhood hints — relaxation sets that
+//! produced improvements in *other* members — from the portfolio's
+//! work-stealing deque before falling back to a random draw.
 
 use crate::anytime::Trajectory;
 use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::greedy::GreedySolver;
-use crate::local::reinsert;
+use crate::local::{reinsert, sanitize_hint, Cooperator};
 use crate::properties::{self, AnalysisOptions};
 use crate::result::{SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
@@ -35,6 +42,11 @@ pub struct LnsConfig {
     /// neighbourhood (and keep it feasible). `AnalysisOptions::none()`
     /// uses only hard precedences.
     pub analysis: AnalysisOptions,
+    /// Iterations without improvement before the member counts as *stalled*
+    /// and (under a warm-start policy) re-seeds from the shared best
+    /// deployment. A slice of the iteration budget; ignored outside
+    /// cooperative portfolio runs.
+    pub stall_iterations: u64,
 }
 
 impl Default for LnsConfig {
@@ -45,6 +57,7 @@ impl Default for LnsConfig {
             budget: SearchBudget::default(),
             seed: 0x1A5,
             analysis: AnalysisOptions::none(),
+            stall_iterations: 25,
         }
     }
 }
@@ -101,16 +114,44 @@ impl LnsSolver {
         let relax_count =
             ((n as f64 * self.config.relax_fraction).ceil() as usize).clamp(2.min(n), n);
 
+        let mut coop = Cooperator::new(ctx, self.config.stall_iterations);
         let mut iterations = 0u64;
         while !clock.exhausted() && n >= 2 {
             iterations += 1;
             clock.count_node();
 
-            // Draw the relaxed set uniformly at random.
-            let mut ids: Vec<usize> = (0..n).collect();
-            ids.shuffle(&mut rng);
-            let relaxed_raw: Vec<usize> = ids[..relax_count].to_vec();
-            let relaxed: Vec<IndexId> = relaxed_raw.iter().map(|&r| IndexId::new(r)).collect();
+            // Cooperative warm-start: when stalled, jump to the portfolio's
+            // best deployment instead of grinding on our own local optimum.
+            if let Some(snapshot) = coop.stalled_adoption(ctx, current_area, constraints) {
+                current = Deployment::new(snapshot.order);
+                current_area = snapshot.objective;
+                trajectory.record(clock.elapsed_seconds(), current_area);
+            }
+
+            // Destroy set: prefer a stolen hint (a relaxation that recently
+            // paid off in another member), else draw uniformly at random.
+            let stolen = if coop.policy().steals() {
+                ctx.hints()
+                    .steal()
+                    .map(|hint| sanitize_hint(hint, n))
+                    .filter(|hint| hint.len() >= 2)
+            } else {
+                None
+            };
+            let relaxed: Vec<IndexId> = match stolen {
+                Some(hint) => {
+                    coop.stats.hints_stolen += 1;
+                    hint
+                }
+                None => {
+                    let mut ids: Vec<usize> = (0..n).collect();
+                    ids.shuffle(&mut rng);
+                    ids[..relax_count]
+                        .iter()
+                        .map(|&r| IndexId::new(r))
+                        .collect()
+                }
+            };
             let fixed: Vec<IndexId> = current
                 .order()
                 .iter()
@@ -131,7 +172,15 @@ impl LnsSolver {
                 current = Deployment::new(order);
                 current_area = result.area;
                 trajectory.record(clock.elapsed_seconds(), current_area);
-                ctx.publish(current_area);
+                ctx.publish_deployment(current_area, current.order());
+                if coop.policy().steals() {
+                    // This destroy set just paid off — share it.
+                    ctx.hints().push(relaxed);
+                    coop.stats.hints_published += 1;
+                }
+                coop.note_improvement();
+            } else {
+                coop.note_no_improvement();
             }
         }
 
@@ -143,6 +192,7 @@ impl LnsSolver {
             elapsed_seconds: clock.elapsed_seconds(),
             nodes: iterations,
             trajectory,
+            coop: coop.stats,
         }
     }
 }

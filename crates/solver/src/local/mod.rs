@@ -18,7 +18,109 @@ pub use vns::{VnsConfig, VnsSolver};
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::exact::state::SearchState;
+use crate::result::CoopStats;
+use crate::solver::{CooperationPolicy, IncumbentSnapshot, SolveContext};
 use idd_core::{IndexId, ProblemInstance};
+
+/// Shared stall-detection / warm-start machinery for the three local
+/// searches (tabu, LNS, VNS).
+///
+/// Tracks iterations since the member's own last improvement; once that
+/// exceeds the configured stall threshold the member is *stalled* and (under
+/// a warm-start policy) re-seeds from the portfolio's shared best deployment
+/// instead of grinding on its own local optimum. Every decision is gated on
+/// the context's [`CooperationPolicy`], so under
+/// [`CooperationPolicy::Off`] this struct is inert and the search loops are
+/// bit-identical to their non-cooperative selves.
+#[derive(Debug)]
+pub(crate) struct Cooperator {
+    policy: CooperationPolicy,
+    stall_iterations: u64,
+    since_improvement: u64,
+    last_seen_epoch: u64,
+    /// Counters reported through [`SolveResult::coop`](crate::result::SolveResult).
+    pub stats: CoopStats,
+}
+
+impl Cooperator {
+    pub fn new(ctx: &SolveContext, stall_iterations: u64) -> Self {
+        Self {
+            policy: ctx.cooperation(),
+            // A threshold of 0 would re-seed on every iteration; clamp to 1.
+            stall_iterations: stall_iterations.max(1),
+            since_improvement: 0,
+            last_seen_epoch: 0,
+            stats: CoopStats::default(),
+        }
+    }
+
+    /// The policy this member runs under.
+    pub fn policy(&self) -> CooperationPolicy {
+        self.policy
+    }
+
+    /// The member improved its own incumbent: reset the stall counter.
+    pub fn note_improvement(&mut self) {
+        self.since_improvement = 0;
+    }
+
+    /// The member finished an iteration without improving.
+    pub fn note_no_improvement(&mut self) {
+        self.since_improvement += 1;
+    }
+
+    /// Called at the top of each search iteration. Returns a snapshot of the
+    /// shared best deployment when the member (a) is allowed to warm-start,
+    /// (b) has stalled, and (c) a *strictly better* foreign deployment that
+    /// satisfies the member's own constraint closure has been published
+    /// since it last looked. The caller must re-seed from the returned
+    /// order.
+    ///
+    /// Every stall event counts as a restart; only successful adoptions
+    /// count as adoptions (so `adoptions <= restarts` always holds).
+    pub fn stalled_adoption(
+        &mut self,
+        ctx: &SolveContext,
+        current_area: f64,
+        constraints: &OrderConstraints,
+    ) -> Option<IncumbentSnapshot> {
+        if !self.policy.warm_starts() || self.since_improvement < self.stall_iterations {
+            return None;
+        }
+        self.since_improvement = 0;
+        self.stats.restarts += 1;
+        // Lock-free pre-check: nothing new published since the last look
+        // (the member's own publications bump the epoch too, but they can
+        // never be strictly better than its current incumbent).
+        let epoch = ctx.incumbent().epoch();
+        if epoch == self.last_seen_epoch {
+            return None;
+        }
+        self.last_seen_epoch = epoch;
+        let snapshot = ctx.incumbent().best_deployment()?;
+        // Only adopt orders the member's own neighbourhood machinery can
+        // work with: the closure may be stronger than the instance's hard
+        // precedences when property analysis is enabled.
+        if snapshot.objective < current_area - 1e-12 && constraints.is_satisfied_by(&snapshot.order)
+        {
+            self.stats.adoptions += 1;
+            Some(snapshot)
+        } else {
+            None
+        }
+    }
+}
+
+/// Filters a stolen destroy-neighbourhood hint down to distinct, in-range
+/// index ids. Hints always originate from the same instance inside one
+/// portfolio run, but the deque is a public surface — never trust a hint to
+/// index into per-instance arrays unchecked.
+pub(crate) fn sanitize_hint(hint: Vec<IndexId>, n: usize) -> Vec<IndexId> {
+    let mut seen = vec![false; n];
+    hint.into_iter()
+        .filter(|i| i.raw() < n && !std::mem::replace(&mut seen[i.raw()], true))
+        .collect()
+}
 
 /// Result of one reinsertion search.
 #[derive(Debug, Clone)]

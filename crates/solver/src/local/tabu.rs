@@ -12,12 +12,18 @@
 //! Recently swapped indexes are *tabu* for a number of iterations (the tabu
 //! length) unless the move improves on the best solution found so far
 //! (aspiration).
+//!
+//! Inside a cooperative portfolio
+//! ([`CooperationPolicy`](crate::solver::CooperationPolicy)) a stalled tabu
+//! member re-seeds from the shared best deployment (clearing its tabu list,
+//! which refers to the abandoned walk) and publishes the index pairs of
+//! improving swaps as destroy-neighbourhood hints for LNS workers.
 
 use crate::anytime::Trajectory;
 use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::greedy::GreedySolver;
-use crate::local::swap_is_feasible;
+use crate::local::{swap_is_feasible, Cooperator};
 use crate::result::{SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
 use idd_core::{Deployment, PrefixEvaluator, ProblemInstance};
@@ -44,6 +50,11 @@ pub struct TabuConfig {
     pub budget: SearchBudget,
     /// RNG seed (used by the first-swap scan order).
     pub seed: u64,
+    /// Iterations without improvement on the member's own best before it
+    /// counts as *stalled* and (under a warm-start policy) re-seeds from the
+    /// shared best deployment. A slice of the iteration budget; ignored
+    /// outside cooperative portfolio runs.
+    pub stall_iterations: u64,
 }
 
 impl Default for TabuConfig {
@@ -53,6 +64,7 @@ impl Default for TabuConfig {
             tabu_length: 7,
             budget: SearchBudget::default(),
             seed: 0x7AB,
+            stall_iterations: 25,
         }
     }
 }
@@ -114,9 +126,22 @@ impl TabuSolver {
             SwapStrategy::First => "ts-fswap",
         };
 
+        let mut coop = Cooperator::new(ctx, self.config.stall_iterations);
         while !clock.exhausted() && n >= 2 {
             iteration += 1;
             clock.count_node();
+
+            // Cooperative warm-start: when stalled, restart the walk from
+            // the portfolio's best deployment. The tabu list describes the
+            // abandoned walk, so it is cleared alongside.
+            if let Some(snapshot) = coop.stalled_adoption(ctx, best_area, &constraints) {
+                best_order = Deployment::new(snapshot.order);
+                best_area = snapshot.objective;
+                evaluator = PrefixEvaluator::new(instance, best_order.clone());
+                tabu_until.iter_mut().for_each(|t| *t = 0);
+                trajectory.record(clock.elapsed_seconds(), best_area);
+            }
+
             let current_area = evaluator.base_area();
 
             // Collect candidate pairs.
@@ -171,7 +196,15 @@ impl TabuSolver {
                 best_area = area;
                 best_order = evaluator.base().clone();
                 trajectory.record(clock.elapsed_seconds(), best_area);
-                ctx.publish(best_area);
+                ctx.publish_deployment(best_area, best_order.order());
+                if coop.policy().steals() {
+                    // The improving pair is a natural 2-index destroy set.
+                    ctx.hints().push(vec![ia, ib]);
+                    coop.stats.hints_published += 1;
+                }
+                coop.note_improvement();
+            } else {
+                coop.note_no_improvement();
             }
         }
 
@@ -183,6 +216,7 @@ impl TabuSolver {
             elapsed_seconds: clock.elapsed_seconds(),
             nodes: iteration as u64,
             trajectory,
+            coop: coop.stats,
         }
     }
 }

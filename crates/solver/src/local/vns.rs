@@ -9,13 +9,19 @@
 //! explored more thoroughly. The paper finds this adaptive rule both faster
 //! to improve and more stable than fixed-parameter LNS, and it is the method
 //! recommended for large instances (Figures 11–13).
+//!
+//! Inside a cooperative portfolio
+//! ([`CooperationPolicy`](crate::solver::CooperationPolicy)) the VNS member
+//! re-seeds from the shared best deployment when it stalls and publishes the
+//! relaxation sets that produced improvements as destroy-neighbourhood hints
+//! for LNS workers to steal.
 
 use crate::anytime::Trajectory;
 use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::greedy::GreedySolver;
-use crate::local::reinsert;
+use crate::local::{reinsert, Cooperator};
 use crate::properties::{self, AnalysisOptions};
 use crate::result::{SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
@@ -45,6 +51,11 @@ pub struct VnsConfig {
     pub seed: u64,
     /// Property analysis used for neighbourhood constraints.
     pub analysis: AnalysisOptions,
+    /// Iterations without improvement before the member counts as *stalled*
+    /// and (under a warm-start policy) re-seeds from the shared best
+    /// deployment. A slice of the iteration budget; ignored outside
+    /// cooperative portfolio runs.
+    pub stall_iterations: u64,
 }
 
 impl Default for VnsConfig {
@@ -59,6 +70,7 @@ impl Default for VnsConfig {
             budget: SearchBudget::default(),
             seed: 0x7145,
             analysis: AnalysisOptions::none(),
+            stall_iterations: 25,
         }
     }
 }
@@ -118,10 +130,19 @@ impl VnsSolver {
         let mut proofs_in_group = 0usize;
         let mut group_progress = 0usize;
 
+        let mut coop = Cooperator::new(ctx, self.config.stall_iterations);
         let mut iterations = 0u64;
         while !clock.exhausted() && n >= 2 {
             iterations += 1;
             clock.count_node();
+
+            // Cooperative warm-start: when stalled, jump to the portfolio's
+            // best deployment instead of grinding on our own local optimum.
+            if let Some(snapshot) = coop.stalled_adoption(ctx, current_area, constraints) {
+                current = Deployment::new(snapshot.order);
+                current_area = snapshot.objective;
+                trajectory.record(clock.elapsed_seconds(), current_area);
+            }
 
             let mut ids: Vec<usize> = (0..n).collect();
             ids.shuffle(&mut rng);
@@ -149,7 +170,16 @@ impl VnsSolver {
                 current = Deployment::new(order);
                 current_area = result.area;
                 trajectory.record(clock.elapsed_seconds(), current_area);
-                ctx.publish(current_area);
+                ctx.publish_deployment(current_area, current.order());
+                if coop.policy().steals() {
+                    // Feed the deque: this relaxation just paid off, so an
+                    // LNS worker on another thread may profit from it too.
+                    ctx.hints().push(relaxed);
+                    coop.stats.hints_published += 1;
+                }
+                coop.note_improvement();
+            } else {
+                coop.note_no_improvement();
             }
             if result.proved {
                 proofs_in_group += 1;
@@ -181,6 +211,7 @@ impl VnsSolver {
             elapsed_seconds: clock.elapsed_seconds(),
             nodes: iterations,
             trajectory,
+            coop: coop.stats,
         }
     }
 }

@@ -8,11 +8,15 @@
 //! incumbent any of them found:
 //!
 //! * every member runs on its own `std::thread`, sharing a
-//!   [`SolveContext`] (atomic incumbent +
-//!   cancellation token);
-//! * improvements are published to the shared incumbent as they happen, so
-//!   an external observer (or a nested portfolio) always sees the best known
-//!   objective;
+//!   [`SolveContext`] (versioned incumbent cell + cancellation token + hint
+//!   deque);
+//! * improvements — objective *and* deployment order — are published to the
+//!   shared incumbent as they happen, so an external observer (or a nested
+//!   portfolio) always sees the best known solution;
+//! * under a [`CooperationPolicy`] beyond [`CooperationPolicy::Off`], the
+//!   race becomes a *team*: stalled local searches warm-start from the
+//!   shared best deployment, and (with stealing on) LNS members pull
+//!   destroy-neighbourhood hints that other members published;
 //! * the first member to finish with an [`SolveOutcome::Optimal`] proof
 //!   cancels the race — the remaining members stop cooperatively at their
 //!   next budget check;
@@ -29,8 +33,8 @@ use crate::exact::{AStarSolver, CpConfig, CpSolver, MipSolver};
 use crate::greedy::GreedySolver;
 use crate::local::{LnsSolver, SwapStrategy, TabuConfig, TabuSolver, VnsSolver};
 use crate::random::RandomSolver;
-use crate::result::{SolveOutcome, SolveResult};
-use crate::solver::{SolveContext, Solver};
+use crate::result::{CoopStats, SolveOutcome, SolveResult};
+use crate::solver::{CooperationPolicy, SolveContext, Solver};
 use idd_core::ProblemInstance;
 
 /// Configuration of the portfolio runner.
@@ -42,6 +46,10 @@ pub struct PortfolioConfig {
     /// (`true` in every sensible deployment; `false` lets tests observe all
     /// members running to completion).
     pub cancel_on_optimal: bool,
+    /// How much shared state the members may *read*:
+    /// [`CooperationPolicy::Off`] reproduces the independent race
+    /// bit-for-bit, the warm-start policies turn the race into a team.
+    pub cooperation: CooperationPolicy,
 }
 
 impl Default for PortfolioConfig {
@@ -49,6 +57,7 @@ impl Default for PortfolioConfig {
         Self {
             budget: SearchBudget::default(),
             cancel_on_optimal: true,
+            cooperation: CooperationPolicy::Off,
         }
     }
 }
@@ -149,6 +158,17 @@ impl PortfolioSolver {
         self
     }
 
+    /// Sets the cooperation policy (builder style).
+    pub fn with_cooperation(mut self, cooperation: CooperationPolicy) -> Self {
+        self.config.cooperation = cooperation;
+        self
+    }
+
+    /// The configured cooperation policy.
+    pub fn cooperation(&self) -> CooperationPolicy {
+        self.config.cooperation
+    }
+
     /// Number of member solvers (== concurrent threads during a race).
     pub fn num_members(&self) -> usize {
         self.members.len()
@@ -177,6 +197,10 @@ impl PortfolioSolver {
         ctx: &SolveContext,
     ) -> PortfolioOutcome {
         let clock = SearchBudget::unlimited().start();
+        // Apply the configured policy without mutating the caller's context:
+        // the derived handle shares the cancel token, incumbent cell and
+        // hint deque, so outer cancellation and observation still work.
+        let ctx = &ctx.with_policy(self.config.cooperation);
         let members: Vec<SolveResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .members
@@ -244,6 +268,9 @@ impl PortfolioSolver {
             elapsed_seconds,
             nodes: members.iter().map(|r| r.nodes).sum(),
             trajectory,
+            coop: members
+                .iter()
+                .fold(CoopStats::default(), |acc, r| acc.merged(r.coop)),
         }
     }
 }

@@ -12,5 +12,8 @@ pub use crate::local::{
 pub use crate::portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSolver};
 pub use crate::properties::{analyze, AnalysisOptions, AnalysisReport};
 pub use crate::random::{RandomSolver, RandomSummary};
-pub use crate::result::{SolveOutcome, SolveResult};
-pub use crate::solver::{CancelToken, SharedIncumbent, SolveContext, Solver};
+pub use crate::result::{CoopStats, SolveOutcome, SolveResult};
+pub use crate::solver::{
+    CancelToken, CooperationPolicy, IncumbentSnapshot, NeighborhoodHints, SharedIncumbent,
+    SolveContext, Solver,
+};

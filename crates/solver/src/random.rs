@@ -143,11 +143,11 @@ impl Solver for RandomSolver {
             let d = self.random_deployment_with(instance, &constraints, &mut rng);
             let area = evaluator.evaluate_area(&d);
             if area < result.objective {
+                ctx.publish_deployment(area, d.order());
                 result.objective = area;
                 result.deployment = Some(d);
                 result.outcome = SolveOutcome::Feasible;
                 result.trajectory.record(clock.elapsed_seconds(), area);
-                ctx.publish(area);
             }
         }
         result.elapsed_seconds = clock.elapsed_seconds();

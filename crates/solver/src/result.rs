@@ -41,6 +41,37 @@ impl SolveOutcome {
     }
 }
 
+/// Cooperation counters for one solver run inside a portfolio race.
+///
+/// All zeros for standalone runs and for runs under
+/// [`CooperationPolicy::Off`](crate::solver::CooperationPolicy::Off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoopStats {
+    /// Stall events that triggered a re-seed attempt (no improvement for the
+    /// configured slice of the budget).
+    pub restarts: u64,
+    /// Restarts that actually adopted the shared best deployment (a strictly
+    /// better foreign incumbent existed and satisfied the member's
+    /// constraint closure). Always `<= restarts`.
+    pub adoptions: u64,
+    /// Destroy-neighbourhood hints stolen from the shared deque (LNS only).
+    pub hints_stolen: u64,
+    /// Destroy-neighbourhood hints published to the shared deque.
+    pub hints_published: u64,
+}
+
+impl CoopStats {
+    /// Sums counters (used by the portfolio's combined report).
+    pub fn merged(self, other: CoopStats) -> CoopStats {
+        CoopStats {
+            restarts: self.restarts + other.restarts,
+            adoptions: self.adoptions + other.adoptions,
+            hints_stolen: self.hints_stolen + other.hints_stolen,
+            hints_published: self.hints_published + other.hints_published,
+        }
+    }
+}
+
 /// The result of one solver run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SolveResult {
@@ -60,6 +91,9 @@ pub struct SolveResult {
     /// Objective-vs-time trajectory of the incumbent (empty for constructive
     /// heuristics).
     pub trajectory: Trajectory,
+    /// Cooperation counters (restarts, adoptions, hint traffic); all zeros
+    /// outside a cooperative portfolio race.
+    pub coop: CoopStats,
 }
 
 impl SolveResult {
@@ -78,6 +112,7 @@ impl SolveResult {
             elapsed_seconds,
             nodes: 0,
             trajectory: Trajectory::new(),
+            coop: CoopStats::default(),
         }
     }
 
@@ -91,6 +126,7 @@ impl SolveResult {
             elapsed_seconds,
             nodes,
             trajectory: Trajectory::new(),
+            coop: CoopStats::default(),
         }
     }
 
@@ -138,5 +174,27 @@ mod tests {
         assert!(!r.is_feasible());
         assert_eq!(r.outcome, SolveOutcome::DidNotFinish);
         assert!(r.objective.is_infinite());
+        assert_eq!(r.coop, CoopStats::default());
+    }
+
+    #[test]
+    fn coop_stats_merge_by_summing() {
+        let a = CoopStats {
+            restarts: 2,
+            adoptions: 1,
+            hints_stolen: 3,
+            hints_published: 4,
+        };
+        let b = CoopStats {
+            restarts: 1,
+            adoptions: 1,
+            hints_stolen: 0,
+            hints_published: 2,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.restarts, 3);
+        assert_eq!(m.adoptions, 2);
+        assert_eq!(m.hints_stolen, 3);
+        assert_eq!(m.hints_published, 6);
     }
 }

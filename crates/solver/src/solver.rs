@@ -8,28 +8,39 @@
 //! callers can hold a `Box<dyn Solver>` and stay agnostic of which technique
 //! runs behind it.
 //!
-//! The [`SolveContext`] carries the two pieces of state that let several
-//! solvers cooperate inside one wall-clock window (the
-//! [`portfolio`](crate::portfolio) runner):
+//! The [`SolveContext`] carries the pieces of state that let several solvers
+//! cooperate inside one wall-clock window (the [`portfolio`](crate::portfolio)
+//! runner):
 //!
 //! * a [`CancelToken`] — a shared atomic flag checked by every search loop
 //!   through [`BudgetClock::exhausted`](crate::budget::BudgetClock::exhausted),
 //!   so one thread proving optimality stops the others cooperatively;
-//! * a [`SharedIncumbent`] — the best objective published by *any*
-//!   cooperating solver, maintained lock-free with a compare-and-swap loop
-//!   over the f64 bit pattern.
+//! * a [`SharedIncumbent`] — a *versioned* best-solution cell: the best
+//!   objective published by any cooperating solver stays lock-free (a
+//!   compare-and-swap loop over the f64 bit pattern), and the best
+//!   *deployment order* is published alongside it under a small mutex with a
+//!   monotone epoch counter, so members can warm-start from each other's
+//!   incumbents, not just observe their scores;
+//! * a [`NeighborhoodHints`] deque — successful destroy neighbourhoods
+//!   published by the local searches, stolen by LNS workers on other threads;
+//! * a [`CooperationPolicy`] — how much of the above the members may *read*
+//!   ([`CooperationPolicy::Off`] reproduces the pre-cooperation race
+//!   bit-for-bit).
 //!
-//! Solvers only ever *publish* to the shared incumbent; they never use it to
-//! prune their own search. Pruning against a bound whose deployment lives in
-//! another thread could make an exact solver discard its entire tree and
-//! still report `Optimal` without holding a matching solution, so the proofs
-//! stay sound by construction.
+//! Exact solvers only ever *publish* to the shared incumbent; they never use
+//! it to prune their own search. Pruning against a bound whose deployment
+//! lives in another thread could make an exact solver discard its entire tree
+//! and still report `Optimal` without holding a matching solution, so the
+//! proofs stay sound by construction. Local searches *may* additionally
+//! adopt the shared best deployment on stall (it is a feasible order for the
+//! same instance, never a bound), which preserves that soundness argument.
 
 use crate::budget::SearchBudget;
 use crate::result::SolveResult;
-use idd_core::ProblemInstance;
+use idd_core::{IndexId, ProblemInstance};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A cooperative cancellation flag shared between solver threads.
 ///
@@ -58,33 +69,77 @@ impl CancelToken {
     }
 }
 
-/// The best objective value published by any cooperating solver, updated
-/// lock-free across threads.
+/// A snapshot of the best published *deployment*: its epoch (monotone
+/// publication counter), its objective, and the order itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncumbentSnapshot {
+    /// Monotone publication counter: strictly increases with every accepted
+    /// deployment publication, so readers can cheaply detect "anything new
+    /// since I last looked?" without re-cloning the order.
+    pub epoch: u64,
+    /// Objective area of `order`.
+    pub objective: f64,
+    /// The deployment order that achieves `objective`.
+    pub order: Vec<IndexId>,
+}
+
+/// The best solution published by any cooperating solver — a *versioned*
+/// incumbent cell.
 ///
-/// Objectives are non-negative finite areas (with `f64::INFINITY` as "no
-/// solution yet"), so their IEEE-754 bit patterns order the same way the
-/// values do and a CAS loop over [`AtomicU64`] implements an atomic min.
+/// Two tiers, with different synchronization costs:
+///
+/// * the best **objective** is lock-free: objectives are non-negative finite
+///   areas (with `f64::INFINITY` as "no solution yet"), so their IEEE-754
+///   bit patterns order the same way the values do and a CAS loop over
+///   [`AtomicU64`] implements an atomic min — solvers poll
+///   [`SharedIncumbent::best`] on their hot path without ever blocking;
+/// * the best **deployment order** lives in an epoch-counted
+///   `Mutex<Option<IncumbentSnapshot>>`. Writers take the lock only on an
+///   actual improvement (rare), readers only when the lock-free
+///   [`SharedIncumbent::epoch`] says something new was published.
+///
+/// Invariants, preserved under arbitrary interleavings (and locked down by
+/// the `cooperation` test suite):
+///
+/// * the atomic objective is monotone non-increasing;
+/// * the stored snapshot's objective is monotone non-increasing and its
+///   epoch strictly increases with every accepted write — a worse deployment
+///   can never overwrite a better one;
+/// * the stored order always re-evaluates to the stored objective (writers
+///   must offer matching pairs; the cell never mixes one writer's objective
+///   with another's order because both move under one lock);
+/// * `best() <= snapshot.objective` at every instant (the atomic may run
+///   ahead while a publisher is between its CAS and its slot write, and
+///   objective-only offers never touch the slot).
 #[derive(Debug)]
 pub struct SharedIncumbent {
     bits: AtomicU64,
+    epoch: AtomicU64,
+    slot: Mutex<Option<IncumbentSnapshot>>,
 }
 
 impl Default for SharedIncumbent {
     fn default() -> Self {
         Self {
             bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            epoch: AtomicU64::new(0),
+            slot: Mutex::new(None),
         }
     }
 }
 
 impl SharedIncumbent {
-    /// Creates an empty incumbent (best = ∞).
+    /// Creates an empty incumbent (best = ∞, no deployment, epoch 0).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Offers an objective value; keeps it only if it improves on the
     /// current best. Returns `true` when the offer became the new best.
+    ///
+    /// This is the lock-free fast path. It never touches the deployment
+    /// slot — use [`SharedIncumbent::offer_deployment`] to publish an order
+    /// alongside its objective.
     pub fn offer(&self, objective: f64) -> bool {
         if !objective.is_finite() {
             return false;
@@ -106,27 +161,221 @@ impl SharedIncumbent {
         }
     }
 
-    /// The best objective offered so far (∞ when none).
+    /// Offers a deployment order together with its objective. The objective
+    /// participates in the lock-free minimum exactly like
+    /// [`SharedIncumbent::offer`]; the order additionally replaces the stored
+    /// snapshot when it strictly improves on it, bumping the epoch.
+    ///
+    /// Returns `true` when the deployment became the new stored best.
+    ///
+    /// The slot comparison happens *under the lock* (not against the atomic):
+    /// a publisher that won the CAS but lost the race to the lock must not
+    /// overwrite a better deployment that landed in between.
+    pub fn offer_deployment(&self, objective: f64, order: &[IndexId]) -> bool {
+        if !objective.is_finite() {
+            return false;
+        }
+        self.offer(objective);
+        let mut slot = self.lock_slot();
+        let improves = match slot.as_ref() {
+            Some(current) => objective < current.objective - 1e-12,
+            None => true,
+        };
+        if improves {
+            // Bump inside the lock so snapshot epochs strictly increase in
+            // the same order their objectives decrease.
+            let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            *slot = Some(IncumbentSnapshot {
+                epoch,
+                objective,
+                order: order.to_vec(),
+            });
+        }
+        improves
+    }
+
+    /// The best objective offered so far (∞ when none). Lock-free.
     pub fn best(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Acquire))
     }
+
+    /// The epoch of the last accepted deployment publication (0 when none).
+    /// Lock-free — poll this before paying for
+    /// [`SharedIncumbent::best_deployment`]'s lock and clone.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A clone of the best published deployment, if any.
+    pub fn best_deployment(&self) -> Option<IncumbentSnapshot> {
+        self.lock_slot().clone()
+    }
+
+    fn lock_slot(&self) -> std::sync::MutexGuard<'_, Option<IncumbentSnapshot>> {
+        // A poisoned slot only means a peer panicked mid-publish *between*
+        // field writes, which cannot happen (the snapshot is replaced
+        // wholesale); recover rather than cascade the panic.
+        self.slot
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 }
 
-/// Shared state for one (possibly concurrent) solve: a cancellation token
-/// plus the cross-thread incumbent.
+/// How much of the shared state portfolio members may *read*.
 ///
-/// Cloning shares both — clones are handles onto the same race.
+/// Publishing is always on (it is free of behavioural feedback); the policy
+/// gates the feedback paths, so [`CooperationPolicy::Off`] reproduces the
+/// independent race of the pre-cooperation portfolio bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CooperationPolicy {
+    /// Members never read shared state: a pure race (the PR 2 behaviour,
+    /// kept as the default for reproducibility).
+    #[default]
+    Off,
+    /// Local searches that stall re-seed from the shared best deployment.
+    WarmStart,
+    /// Warm-starts plus the work-stealing hint deque: local searches publish
+    /// the destroy neighbourhoods that produced improvements, and LNS
+    /// workers steal them instead of always drawing random ones.
+    WarmStartSteal,
+}
+
+impl CooperationPolicy {
+    /// `true` when members may adopt the shared best deployment on stall.
+    pub fn warm_starts(&self) -> bool {
+        !matches!(self, CooperationPolicy::Off)
+    }
+
+    /// `true` when the hint deque is active.
+    pub fn steals(&self) -> bool {
+        matches!(self, CooperationPolicy::WarmStartSteal)
+    }
+}
+
+impl std::str::FromStr for CooperationPolicy {
+    type Err = String;
+
+    /// Parses the CLI vocabulary shared by the `table8` binary and the
+    /// `portfolio` example (`--coop off|warm|steal`), so every front-end
+    /// accepts the same names and rejects the same typos — a mistyped
+    /// policy must never silently fall back to a different experiment.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(CooperationPolicy::Off),
+            "warm" | "warm_start" => Ok(CooperationPolicy::WarmStart),
+            "steal" | "warm_start_steal" => Ok(CooperationPolicy::WarmStartSteal),
+            other => Err(format!(
+                "unknown cooperation policy {other:?} (expected off|warm|steal)"
+            )),
+        }
+    }
+}
+
+/// A small bounded work-stealing deque of *destroy-neighbourhood hints*:
+/// index sets whose relaxation recently produced an improvement somewhere in
+/// the portfolio. Owned by the portfolio run (via [`SolveContext`]); local
+/// searches push on improvement, LNS workers steal from the front.
+///
+/// Bounded FIFO semantics: pushes beyond the capacity evict the oldest hint
+/// (stale neighbourhoods lose value quickly), steals pop the oldest
+/// remaining. A mutexed ring buffer is deliberately chosen over a fancier
+/// lock-free deque: hints flow at improvement frequency (a few per second),
+/// so contention is negligible and the invariants stay obvious.
+#[derive(Debug)]
+pub struct NeighborhoodHints {
+    deque: Mutex<VecDeque<Vec<IndexId>>>,
+    capacity: usize,
+}
+
+impl Default for NeighborhoodHints {
+    fn default() -> Self {
+        Self::with_capacity(16)
+    }
+}
+
+impl NeighborhoodHints {
+    /// An empty deque holding at most `capacity` hints.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            deque: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Publishes a hint, evicting the oldest one when full. Empty hints are
+    /// ignored (nothing to relax).
+    pub fn push(&self, hint: Vec<IndexId>) {
+        if hint.is_empty() {
+            return;
+        }
+        let mut deque = self.lock();
+        if deque.len() >= self.capacity {
+            deque.pop_front();
+        }
+        deque.push_back(hint);
+    }
+
+    /// Steals the oldest hint, if any.
+    pub fn steal(&self) -> Option<Vec<IndexId>> {
+        self.lock().pop_front()
+    }
+
+    /// Number of queued hints.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no hints are queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Vec<IndexId>>> {
+        self.deque
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Shared state for one (possibly concurrent) solve: a cancellation token,
+/// the cross-thread versioned incumbent, the hint deque, and the cooperation
+/// policy governing who may read what.
+///
+/// Cloning shares everything — clones are handles onto the same race.
 #[derive(Debug, Clone, Default)]
 pub struct SolveContext {
     cancel: CancelToken,
     incumbent: Arc<SharedIncumbent>,
+    hints: Arc<NeighborhoodHints>,
+    cooperation: CooperationPolicy,
 }
 
 impl SolveContext {
-    /// A fresh context (not cancelled, incumbent at ∞). This is what
-    /// standalone, single-threaded runs use.
+    /// A fresh context (not cancelled, incumbent at ∞, cooperation off).
+    /// This is what standalone, single-threaded runs use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh context with the given cooperation policy.
+    pub fn with_cooperation(cooperation: CooperationPolicy) -> Self {
+        Self {
+            cooperation,
+            ..Self::default()
+        }
+    }
+
+    /// A handle onto the *same* shared state (cancel token, incumbent,
+    /// hints) but with a different cooperation policy. The portfolio uses
+    /// this to apply its configured policy without mutating the caller's
+    /// context.
+    pub fn with_policy(&self, cooperation: CooperationPolicy) -> Self {
+        Self {
+            cancel: self.cancel.clone(),
+            incumbent: Arc::clone(&self.incumbent),
+            hints: Arc::clone(&self.hints),
+            cooperation,
+        }
     }
 
     /// The cancellation token.
@@ -144,9 +393,26 @@ impl SolveContext {
         &self.incumbent
     }
 
+    /// The work-stealing hint deque.
+    pub fn hints(&self) -> &NeighborhoodHints {
+        &self.hints
+    }
+
+    /// The cooperation policy members must honour when *reading* shared
+    /// state.
+    pub fn cooperation(&self) -> CooperationPolicy {
+        self.cooperation
+    }
+
     /// Publishes an objective to the shared incumbent (convenience).
     pub fn publish(&self, objective: f64) -> bool {
         self.incumbent.offer(objective)
+    }
+
+    /// Publishes a deployment and its objective to the shared incumbent
+    /// (convenience).
+    pub fn publish_deployment(&self, objective: f64, order: &[IndexId]) -> bool {
+        self.incumbent.offer_deployment(objective, order)
     }
 }
 
@@ -245,5 +511,128 @@ mod tests {
         assert_eq!(other.incumbent().best(), 42.0);
         other.cancel_token().cancel();
         assert!(ctx.is_cancelled());
+    }
+
+    fn ids(raw: &[usize]) -> Vec<IndexId> {
+        raw.iter().copied().map(IndexId::new).collect()
+    }
+
+    #[test]
+    fn deployment_offers_are_versioned_and_monotone() {
+        let inc = SharedIncumbent::new();
+        assert_eq!(inc.epoch(), 0);
+        assert!(inc.best_deployment().is_none());
+
+        assert!(inc.offer_deployment(10.0, &ids(&[0, 1, 2])));
+        let first = inc.best_deployment().unwrap();
+        assert_eq!(first.epoch, 1);
+        assert_eq!(first.objective, 10.0);
+        assert_eq!(first.order, ids(&[0, 1, 2]));
+
+        // A worse deployment never overwrites a better one.
+        assert!(!inc.offer_deployment(12.0, &ids(&[2, 1, 0])));
+        assert_eq!(inc.best_deployment().unwrap(), first);
+        assert_eq!(inc.epoch(), 1);
+
+        // A better one bumps the epoch and replaces order + objective
+        // together.
+        assert!(inc.offer_deployment(7.5, &ids(&[1, 0, 2])));
+        let second = inc.best_deployment().unwrap();
+        assert_eq!(second.epoch, 2);
+        assert_eq!(second.objective, 7.5);
+        assert_eq!(second.order, ids(&[1, 0, 2]));
+        assert_eq!(inc.best(), 7.5);
+    }
+
+    #[test]
+    fn objective_only_offers_never_touch_the_slot() {
+        let inc = SharedIncumbent::new();
+        inc.offer_deployment(10.0, &ids(&[0, 1]));
+        // A tighter objective-only bound lowers the atomic best...
+        assert!(inc.offer(5.0));
+        assert_eq!(inc.best(), 5.0);
+        // ...but the deployment snapshot stays at the best *order* known.
+        let snap = inc.best_deployment().unwrap();
+        assert_eq!(snap.objective, 10.0);
+        assert!(inc.best() <= snap.objective);
+        // Non-finite deployment offers are rejected outright.
+        assert!(!inc.offer_deployment(f64::NAN, &ids(&[0, 1])));
+        assert!(!inc.offer_deployment(f64::INFINITY, &ids(&[0, 1])));
+        assert_eq!(inc.epoch(), 1);
+    }
+
+    #[test]
+    fn deployment_slot_is_consistent_under_contention() {
+        let inc = Arc::new(SharedIncumbent::new());
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let inc = Arc::clone(&inc);
+                s.spawn(move || {
+                    for k in (0..200usize).rev() {
+                        let objective = 1.0 + (t * 200 + k) as f64;
+                        inc.offer_deployment(objective, &ids(&[t, k]));
+                    }
+                });
+            }
+        });
+        // The global minimum over every offer is 1.0 (t=0, k=0), and the
+        // slot must hold exactly the order that was offered with it.
+        assert_eq!(inc.best(), 1.0);
+        let snap = inc.best_deployment().unwrap();
+        assert_eq!(snap.objective, 1.0);
+        assert_eq!(snap.order, ids(&[0, 0]));
+        assert!(snap.epoch >= 1);
+    }
+
+    #[test]
+    fn hints_are_bounded_fifo_and_shared_through_the_context() {
+        let hints = NeighborhoodHints::with_capacity(2);
+        assert!(hints.is_empty());
+        hints.push(vec![]); // ignored
+        assert!(hints.is_empty());
+        hints.push(ids(&[0]));
+        hints.push(ids(&[1]));
+        hints.push(ids(&[2])); // evicts the oldest
+        assert_eq!(hints.len(), 2);
+        assert_eq!(hints.steal(), Some(ids(&[1])));
+        assert_eq!(hints.steal(), Some(ids(&[2])));
+        assert_eq!(hints.steal(), None);
+
+        let ctx = SolveContext::with_cooperation(CooperationPolicy::WarmStartSteal);
+        let clone = ctx.clone();
+        ctx.hints().push(ids(&[3, 4]));
+        assert_eq!(clone.hints().steal(), Some(ids(&[3, 4])));
+        assert!(clone.cooperation().steals());
+    }
+
+    #[test]
+    fn policy_parsing_is_strict_and_round_trips() {
+        assert_eq!("off".parse(), Ok(CooperationPolicy::Off));
+        assert_eq!("warm".parse(), Ok(CooperationPolicy::WarmStart));
+        assert_eq!("warm_start".parse(), Ok(CooperationPolicy::WarmStart));
+        assert_eq!("steal".parse(), Ok(CooperationPolicy::WarmStartSteal));
+        assert_eq!(
+            "warm_start_steal".parse(),
+            Ok(CooperationPolicy::WarmStartSteal)
+        );
+        for bogus in ["", "of", "Off", "STEAL", "warmstart"] {
+            assert!(bogus.parse::<CooperationPolicy>().is_err(), "{bogus:?}");
+        }
+    }
+
+    #[test]
+    fn policy_override_shares_state_but_not_policy() {
+        let ctx = SolveContext::new();
+        assert_eq!(ctx.cooperation(), CooperationPolicy::Off);
+        assert!(!ctx.cooperation().warm_starts());
+        let coop = ctx.with_policy(CooperationPolicy::WarmStart);
+        assert!(coop.cooperation().warm_starts());
+        assert!(!coop.cooperation().steals());
+        // Same underlying incumbent and cancel token.
+        coop.publish_deployment(3.0, &ids(&[0]));
+        assert_eq!(ctx.incumbent().best(), 3.0);
+        assert_eq!(ctx.incumbent().epoch(), 1);
+        ctx.cancel_token().cancel();
+        assert!(coop.is_cancelled());
     }
 }
