@@ -21,7 +21,7 @@
 //!   optimality-cancellation disabled, so the full output is reproducible
 //!   bit-for-bit — that mode is diffed by the golden regression test.
 
-use idd_bench::{HarnessArgs, Table};
+use idd_bench::{BenchJson, BenchRecord, HarnessArgs, Table};
 use idd_core::reduce::{reduce, Density, ReduceOptions};
 use idd_solver::exact::{CpConfig, CpSolver};
 use idd_solver::local::{LnsConfig, TabuConfig, VnsConfig};
@@ -55,8 +55,15 @@ fn roster(budget: SearchBudget) -> Vec<Box<dyn Solver>> {
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
     let mut cooperation = CooperationPolicy::WarmStartSteal;
+    let mut json_path: Option<String> = None;
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
+        if arg == "--json" {
+            json_path = Some(raw.next().unwrap_or_else(|| {
+                eprintln!("table8: missing value after --json");
+                std::process::exit(2);
+            }));
+        }
         if arg == "--coop" {
             // An invalid policy aborts: this binary exists to compare
             // policies, so a typo must never silently run a different
@@ -76,7 +83,7 @@ fn main() {
     if tiny {
         // Deterministic mode for the golden test: node budgets, cooperation
         // off, no optimality-cancellation race, no wall-clock columns.
-        run_tiny();
+        run_tiny(json_path.as_deref());
         return;
     }
 
@@ -117,6 +124,13 @@ fn main() {
         "elapsed (s)",
         "nodes",
     ]);
+    let mut json = BenchJson::new(
+        "table8",
+        format!(
+            "{}s deadline, coop {cooperation:?}, reduced TPC-H",
+            args.time_limit
+        ),
+    );
     let mut best_single = f64::INFINITY;
     let mut best_single_name = String::new();
     for member in roster(budget) {
@@ -125,6 +139,7 @@ fn main() {
             best_single = result.objective;
             best_single_name = result.solver.clone();
         }
+        json.push(BenchRecord::from_solve(result.solver.clone(), &result));
         push_row(&mut table, &result, result.solver.clone(), true);
     }
 
@@ -138,6 +153,10 @@ fn main() {
         });
     let outcome = portfolio.solve_detailed(&instance);
     for member in &outcome.members {
+        json.push(BenchRecord::from_solve(
+            format!("{} (in portfolio)", member.solver),
+            member,
+        ));
         push_row(
             &mut table,
             member,
@@ -146,6 +165,7 @@ fn main() {
         );
     }
     let combined = &outcome.combined;
+    json.push(BenchRecord::from_solve("portfolio", combined));
     push_row(
         &mut table,
         combined,
@@ -153,6 +173,7 @@ fn main() {
         true,
     );
     println!("{}", table.render());
+    json.write_if_requested("table8", json_path.as_deref());
 
     println!(
         "best single solver: {best_single_name} at {best_single:.2}; \
@@ -212,7 +233,7 @@ fn push_row(table: &mut Table, result: &SolveResult, run: String, timed: bool) {
 /// instance, node budgets, `CooperationPolicy::Off`, no cancellation race —
 /// every number below is machine-independent, and with cooperation off the
 /// members behave exactly like the pre-cooperation (PR 2) portfolio.
-fn run_tiny() {
+fn run_tiny(json_path: Option<&str>) {
     println!("== Table 8 (tiny): concurrent portfolio vs. single solvers ==\n");
     let instance = idd_bench::tiny();
     println!(
@@ -231,6 +252,7 @@ fn run_tiny() {
         "adoptions",
         "nodes",
     ]);
+    let mut json = BenchJson::new("table8", "tiny: node budgets, coop off");
     let mut best_single = f64::INFINITY;
     let mut best_single_name = String::new();
     for member in roster(budget) {
@@ -239,6 +261,7 @@ fn run_tiny() {
             best_single = result.objective;
             best_single_name = result.solver.clone();
         }
+        json.push(BenchRecord::from_solve(result.solver.clone(), &result));
         push_row(&mut table, &result, result.solver.clone(), false);
     }
 
@@ -250,6 +273,10 @@ fn run_tiny() {
         });
     let outcome = portfolio.solve_detailed(&instance);
     for member in &outcome.members {
+        json.push(BenchRecord::from_solve(
+            format!("{} (in portfolio)", member.solver),
+            member,
+        ));
         push_row(
             &mut table,
             member,
@@ -257,6 +284,7 @@ fn run_tiny() {
             false,
         );
     }
+    json.push(BenchRecord::from_solve("portfolio", &outcome.combined));
     push_row(
         &mut table,
         &outcome.combined,
@@ -264,6 +292,7 @@ fn run_tiny() {
         false,
     );
     println!("{}", table.render());
+    json.write_if_requested("table8", json_path);
 
     println!(
         "best single solver: {best_single_name} at {best_single:.2}; \

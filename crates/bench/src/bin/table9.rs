@@ -1,0 +1,281 @@
+//! "Table 9" — realized cumulative cost under evolution (not in the paper).
+//!
+//! The paper optimizes one static instance; its title promises *evolving*
+//! OLAP. This harness measures what that evolution costs: a deployment plan
+//! is executed by the `idd-deploy` runtime against seeded evolution
+//! scenarios (workload drift, design revisions, build failures), and the
+//! *realized* cumulative cost — `Σ runtime_during · build_time` over what
+//! actually happened, wasted attempts included — is compared across three
+//! policies:
+//!
+//! * **static** — execute the offline plan, ignoring every chance to
+//!   re-optimize (events still apply: weights drift, indexes come and go);
+//! * **greedy-replan** — one interaction-guided greedy pass over the frozen
+//!   residual at every event;
+//! * **portfolio-replan** — the cooperative portfolio raced over the
+//!   residual, warm-started from the order in flight.
+//!
+//! Flags: `--time-limit <s>` (per-replan portfolio deadline), `--seed <n>`
+//! (scenario seeds), `--json <path>` (machine-readable `BENCH_*.json`
+//! output), `--tiny` (hand-specified instance + scenarios, node budgets,
+//! cooperation off — bit-for-bit reproducible, diffed by the golden test).
+
+use idd_bench::{BenchJson, BenchRecord, HarnessArgs, Table};
+use idd_core::{Deployment, EvolutionScenario, ObjectiveEvaluator, ProblemInstance};
+use idd_deploy::{DeployConfig, DeployRuntime, DeploymentReport};
+use idd_solver::exact::{CpConfig, CpSolver};
+use idd_solver::prelude::*;
+use idd_workloads::evolution::{
+    drift_scenario, failure_scenario, mixed_scenario, revision_scenario, EvolutionConfig,
+};
+use idd_workloads::synthetic::{generate, SyntheticConfig};
+
+fn parse_json_path() -> Option<String> {
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--json" {
+            return Some(raw.next().unwrap_or_else(|| {
+                eprintln!("table9: missing value after --json");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// The three policies of the experiment, with a budget for the replanners.
+fn policies(budget: SearchBudget, deterministic: bool) -> Vec<(&'static str, DeployConfig)> {
+    let portfolio = if deterministic {
+        DeployConfig::portfolio_replan(CooperationPolicy::Off, false, budget)
+    } else {
+        DeployConfig::portfolio_replan(CooperationPolicy::WarmStartSteal, true, budget)
+    };
+    vec![
+        ("static", DeployConfig::static_plan()),
+        (
+            "greedy-replan",
+            DeployConfig {
+                replanner: Replanner::new(ReplanStrategy::Greedy, budget),
+            },
+        ),
+        ("portfolio-replan", portfolio),
+    ]
+}
+
+struct Row {
+    scenario: String,
+    policy: &'static str,
+    report: DeploymentReport,
+    elapsed_seconds: f64,
+}
+
+fn run_matrix(
+    instance: &ProblemInstance,
+    plan: &Deployment,
+    scenarios: &[EvolutionScenario],
+    budget: SearchBudget,
+    deterministic: bool,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for scenario in scenarios {
+        for (policy, config) in policies(budget, deterministic) {
+            let started = std::time::Instant::now();
+            let report = DeployRuntime::new(config)
+                .execute(instance, plan, scenario)
+                .unwrap_or_else(|e| {
+                    eprintln!("table9: {policy} on {}: {e}", scenario.name);
+                    std::process::exit(1);
+                });
+            rows.push(Row {
+                scenario: scenario.name.clone(),
+                policy,
+                report,
+                elapsed_seconds: started.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    rows
+}
+
+fn render(offline_objective: f64, rows: &[Row], timed: bool, json_path: Option<&str>) {
+    let mut header = vec![
+        "scenario",
+        "policy",
+        "realized cost",
+        "vs static",
+        "replans",
+        "improved",
+        "retries",
+        "events",
+    ];
+    if timed {
+        header.push("wall (s)");
+    }
+    let mut table = Table::new(header);
+    let mut json = BenchJson::new(
+        "table9",
+        format!("offline objective {offline_objective:.2}; realized cumulative cost per scenario × policy"),
+    );
+
+    let mut static_cost = f64::NAN;
+    for row in rows {
+        let r = &row.report;
+        if row.policy == "static" {
+            static_cost = r.realized_cost;
+        }
+        let vs_static = if row.policy == "static" {
+            "baseline".to_string()
+        } else {
+            format!(
+                "{:+.2}%",
+                (r.realized_cost - static_cost) / static_cost.max(1e-12) * 100.0
+            )
+        };
+        let mut cells = vec![
+            row.scenario.clone(),
+            row.policy.to_string(),
+            format!("{:.2}", r.realized_cost),
+            vs_static,
+            r.replans.len().to_string(),
+            r.improved_replans().to_string(),
+            r.retries.to_string(),
+            r.events_applied.to_string(),
+        ];
+        if timed {
+            cells.push(format!("{:.3}", row.elapsed_seconds));
+        }
+        table.row(cells);
+
+        json.push(BenchRecord {
+            run: row.policy.to_string(),
+            objective: r.realized_cost,
+            outcome: if r.realized_cost <= static_cost + 1e-9 {
+                "ok".into()
+            } else {
+                "worse".into()
+            },
+            elapsed_seconds: row.elapsed_seconds,
+            nodes: 0,
+            coop: idd_solver::CoopStats::default(),
+            scenario: Some(row.scenario.clone()),
+            replans: Some(r.replans.len() as u64),
+            improved_replans: Some(r.improved_replans() as u64),
+            retries: Some(r.retries as u64),
+        });
+    }
+    println!("{}", table.render());
+
+    // Per-scenario verdicts.
+    for chunk in rows.chunks(3) {
+        let static_row = &chunk[0];
+        let best = chunk
+            .iter()
+            .min_by(|a, b| a.report.realized_cost.total_cmp(&b.report.realized_cost))
+            .expect("non-empty chunk");
+        println!(
+            "{}: best policy {} at {:.2} ({:+.2}% vs static)",
+            static_row.scenario,
+            best.policy,
+            best.report.realized_cost,
+            (best.report.realized_cost - static_row.report.realized_cost)
+                / static_row.report.realized_cost.max(1e-12)
+                * 100.0
+        );
+    }
+
+    json.write_if_requested("table9", json_path);
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let json_path = parse_json_path();
+    if tiny {
+        run_tiny(json_path.as_deref());
+        return;
+    }
+
+    let args = HarnessArgs::parse(HarnessArgs {
+        time_limit: 1.0,
+        ..HarnessArgs::default()
+    });
+    println!(
+        "== Table 9: realized cost under evolution ({}s replan deadline, seed {}) ==\n",
+        args.time_limit, args.seed
+    );
+
+    let instance = generate(SyntheticConfig::medium(args.seed));
+    let plan = GreedySolver::new().construct(&instance);
+    let offline = ObjectiveEvaluator::new(&instance).evaluate_area(&plan);
+    println!(
+        "instance: synthetic-{}, {} indexes / {} queries / {} plans; offline objective {:.2}\n",
+        args.seed,
+        instance.num_indexes(),
+        instance.num_queries(),
+        instance.num_plans(),
+        offline
+    );
+
+    let cfg = EvolutionConfig {
+        seed: args.seed,
+        ..EvolutionConfig::default()
+    };
+    let scenarios = vec![
+        EvolutionScenario::quiet("quiet"),
+        drift_scenario(&instance, &cfg),
+        revision_scenario(&instance, &cfg),
+        failure_scenario(&instance, &cfg),
+        mixed_scenario(&instance, &cfg),
+    ];
+    let rows = run_matrix(
+        &instance,
+        &plan,
+        &scenarios,
+        SearchBudget::seconds(args.time_limit),
+        false,
+    );
+    render(offline, &rows, true, json_path.as_deref());
+}
+
+/// Golden-tested deterministic mode: the hand-specified tiny instance, its
+/// hand-specified scenarios, node budgets, cooperation off, no cancellation
+/// race — every number is machine-independent. The offline plan is the
+/// CP-proven optimum, so the quiet scenario's realized cost *is* the
+/// optimal offline objective, bit-for-bit.
+fn run_tiny(json_path: Option<&str>) {
+    println!("== Table 9 (tiny): realized cost under evolution ==\n");
+    let instance = idd_bench::tiny();
+    let exact = CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
+        .solve(&instance);
+    assert!(exact.is_optimal(), "CP must prove the tiny instance");
+    let plan = exact.deployment.expect("optimal run has a deployment");
+    println!(
+        "instance: tiny, {} indexes / {} queries / {} plans; offline optimum {:.2} via {}\n",
+        instance.num_indexes(),
+        instance.num_queries(),
+        instance.num_plans(),
+        exact.objective,
+        plan.arrow_notation()
+    );
+
+    let rows = run_matrix(
+        &instance,
+        &plan,
+        &idd_bench::tiny_scenarios(),
+        SearchBudget::nodes(120),
+        true,
+    );
+
+    // The quiet × static cell must reproduce the offline optimum exactly —
+    // print the invariant so the golden test pins it.
+    let quiet_static = &rows[0].report;
+    println!(
+        "quiet/static realized == offline optimum: {}\n",
+        if quiet_static.realized_cost.to_bits() == exact.objective.to_bits() {
+            "yes (bit-for-bit)"
+        } else {
+            "NO — runtime and evaluator disagree"
+        }
+    );
+
+    render(exact.objective, &rows, false, json_path);
+}

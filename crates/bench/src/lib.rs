@@ -27,7 +27,7 @@ pub mod figures;
 pub mod report;
 
 pub use args::HarnessArgs;
-pub use report::Table;
+pub use report::{BenchJson, BenchRecord, Table};
 
 use idd_core::ProblemInstance;
 
@@ -69,6 +69,57 @@ pub fn tiny() -> ProblemInstance {
     b.add_build_interaction(i3, i2, 1.5);
     b.add_precedence(i0, i1);
     b.build().expect("tiny instance is consistent")
+}
+
+/// Hand-specified evolution scenarios over the [`tiny`] instance, RNG-free
+/// and machine-independent, used by `table9 --tiny` and its golden test:
+///
+/// * `quiet` — nothing happens; pins the realized-cost == offline-objective
+///   invariant in the golden output;
+/// * `drift` — at t=2 the `late_shipments` query becomes 8× as important
+///   while `revenue_by_date` collapses to 0.2×: the offline order, chosen
+///   for the old weights, now front-loads the wrong indexes;
+/// * `revision` — at t=6 the advisor retracts `i(CUST.REGION,SEG)`, adds a
+///   cheap `i(LINE.LATEFLAG)` for the now-hot query, and the
+///   `i(ORDERS.DATE,AMT)` build fails once, wasting half its cost.
+pub fn tiny_scenarios() -> Vec<idd_core::EvolutionScenario> {
+    use idd_core::{
+        BuildFailure, DesignRevision, EventKind, EvolutionEvent, EvolutionScenario, IndexAddition,
+        IndexId, QueryId, WorkloadDrift,
+    };
+    let drift = EvolutionScenario {
+        name: "drift".into(),
+        events: vec![EvolutionEvent {
+            at: 2.0,
+            kind: EventKind::Drift(WorkloadDrift {
+                weights: vec![(QueryId::new(3), 8.0), (QueryId::new(0), 0.2)],
+            }),
+        }],
+        failures: vec![],
+    };
+    let revision = EvolutionScenario {
+        name: "revision".into(),
+        events: vec![EvolutionEvent {
+            at: 6.0,
+            kind: EventKind::Revision(DesignRevision {
+                add: vec![IndexAddition {
+                    name: "i(LINE.LATEFLAG)".into(),
+                    creation_cost: 2.5,
+                    plans: vec![(QueryId::new(3), vec![], 20.0)],
+                    helped_by: vec![(IndexId::new(5), 1.0)],
+                    helps: vec![],
+                    after: vec![],
+                }],
+                drop: vec![IndexId::new(3)],
+            }),
+        }],
+        failures: vec![BuildFailure {
+            index: IndexId::new(1),
+            failures: 1,
+            waste_fraction: 0.5,
+        }],
+    };
+    vec![EvolutionScenario::quiet("quiet"), drift, revision]
 }
 
 /// Formats a duration in minutes the way the paper's tables do: `"<1"` for

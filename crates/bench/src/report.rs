@@ -1,4 +1,105 @@
-//! Plain-text / markdown table rendering for the harness reports.
+//! Plain-text / markdown table rendering for the harness reports, plus the
+//! machine-readable `BENCH_*.json` emitter the perf-trajectory tooling
+//! consumes.
+
+use idd_solver::result::CoopStats;
+use serde::{Deserialize, Serialize};
+
+/// One machine-readable result row of a bench run. `objective` is the
+/// bench's headline number (objective area for the solver tables, realized
+/// cumulative cost for the deployment table); the optional fields are
+/// populated by the benches they apply to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Row label (solver / run name).
+    pub run: String,
+    /// Headline number (objective area or realized cost).
+    pub objective: f64,
+    /// Outcome label ("opt" / "feas" / "DF", or a bench-specific tag).
+    pub outcome: String,
+    /// Wall-clock seconds the run took.
+    pub elapsed_seconds: f64,
+    /// Nodes / iterations explored (0 where not meaningful).
+    pub nodes: u64,
+    /// Cooperation counters (zeros outside cooperative races).
+    pub coop: CoopStats,
+    /// Evolution scenario name (`table9` rows only).
+    pub scenario: Option<String>,
+    /// Number of replans performed (`table9` rows only).
+    pub replans: Option<u64>,
+    /// Replans that strictly improved the in-flight plan (`table9` only).
+    pub improved_replans: Option<u64>,
+    /// Failed build attempts (`table9` rows only).
+    pub retries: Option<u64>,
+}
+
+impl BenchRecord {
+    /// A record from a solver result row.
+    pub fn from_solve(run: impl Into<String>, result: &idd_solver::SolveResult) -> Self {
+        Self {
+            run: run.into(),
+            objective: result.objective,
+            outcome: result.outcome.label().to_string(),
+            elapsed_seconds: result.elapsed_seconds,
+            nodes: result.nodes,
+            coop: result.coop,
+            scenario: None,
+            replans: None,
+            improved_replans: None,
+            retries: None,
+        }
+    }
+}
+
+/// A whole bench run, serializable to `BENCH_<name>.json` so CI can upload
+/// the perf trajectory as an artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchJson {
+    /// Bench name ("table8", "table9", ...).
+    pub bench: String,
+    /// Free-form description of the configuration that produced the rows
+    /// (deadline, cooperation policy, instance, ...).
+    pub config: String,
+    /// The result rows.
+    pub rows: Vec<BenchRecord>,
+}
+
+impl BenchJson {
+    /// Starts an empty report.
+    pub fn new(bench: impl Into<String>, config: impl Into<String>) -> Self {
+        Self {
+            bench: bench.into(),
+            config: config.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, record: BenchRecord) {
+        self.rows.push(record);
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+
+    /// Writes the report when a `--json <path>` flag was given: the notice
+    /// goes to stderr so golden-tested stdout stays untouched, and an IO
+    /// failure aborts the bench (a requested record must never be silently
+    /// missing from CI artifacts).
+    pub fn write_if_requested(&self, bin: &str, path: Option<&str>) {
+        if let Some(path) = path {
+            if let Err(e) = self.write(path) {
+                eprintln!("{bin}: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("{bin}: wrote {path}");
+        }
+    }
+}
 
 /// A simple column-aligned table builder.
 #[derive(Debug, Clone, Default)]

@@ -78,3 +78,14 @@ fn table5_tiny_output_matches_golden() {
 fn table8_tiny_output_matches_golden() {
     check(env!("CARGO_BIN_EXE_table8"), "table8_tiny.txt");
 }
+
+/// `table9 --tiny` pins the deployment runtime surface: the hand-specified
+/// instance and scenarios, node budgets, cooperation off and no
+/// cancellation race make every realized cost machine-independent. The
+/// output also prints the zero-event invariant (quiet/static realized ==
+/// offline optimum, bit-for-bit) and the replanning-beats-static drift
+/// verdict, so either regressing fails here.
+#[test]
+fn table9_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_table9"), "table9_tiny.txt");
+}

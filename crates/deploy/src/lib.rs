@@ -1,0 +1,45 @@
+//! # idd-deploy — online deployment runtime for evolving OLAP
+//!
+//! The solvers in `idd-solver` optimize one static instance offline and
+//! stop. This crate is the *online* half the paper's title promises: a
+//! deterministic discrete-event runtime that **executes** a deployment order
+//! build-by-build against a simulated query stream and reacts to the world
+//! changing underneath it.
+//!
+//! * [`DeployRuntime`] — the executor. Builds are atomic; at every build
+//!   boundary the runtime lands due [`EvolutionScenario`](idd_core::EvolutionScenario)
+//!   events (workload drift, design revisions, build failures are handled
+//!   in-line), freezes the built prefix, derives a residual instance for
+//!   the unbuilt suffix ([`idd_core::residual`]), re-optimizes it with the
+//!   configured [`Replanner`](idd_solver::replan::Replanner) — warm-started
+//!   from the order in flight — and splices the result back.
+//! * [`DeploymentReport`] — the realized timeline: executed builds, replan
+//!   records (each carrying its frozen-prefix snapshot), realized
+//!   cumulative cost, wasted clock, retry counts.
+//!
+//! Invariants, encoded in the runtime and locked down by this crate's
+//! proptests:
+//!
+//! 1. the built prefix is never reordered or rebuilt;
+//! 2. every spliced order satisfies the (possibly revised) precedence
+//!    closure — validated before execution continues;
+//! 3. with a quiet scenario the realized cost equals the offline objective
+//!    **bit-for-bit** (the runtime steps the offline evaluator's own
+//!    arithmetic).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+pub mod runtime;
+
+pub use report::{DeploymentReport, ExecutedBuild, ReplanRecord};
+pub use runtime::{DeployConfig, DeployError, DeployRuntime};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
+    pub use crate::runtime::{DeployConfig, DeployError, DeployRuntime};
+    pub use idd_core::{EventKind, EvolutionEvent, EvolutionScenario};
+    pub use idd_solver::replan::{ReplanStrategy, Replanner};
+}

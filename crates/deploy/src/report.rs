@@ -1,0 +1,175 @@
+//! What a deployment run actually did: the realized timeline, the replans,
+//! and the realized cumulative cost.
+
+use idd_core::{Deployment, IndexId};
+use serde::{Deserialize, Serialize};
+
+/// One build the runtime actually executed (including failed attempts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutedBuild {
+    /// Position in the realized order (0-based).
+    pub position: usize,
+    /// The index built.
+    pub index: IndexId,
+    /// Deployment clock when work on this index started (first attempt).
+    pub start: f64,
+    /// Deployment clock when the index became available.
+    pub finish: f64,
+    /// Effective build cost of the successful attempt.
+    pub cost: f64,
+    /// Clock time lost to failed attempts before the successful one.
+    pub wasted: f64,
+    /// Number of failed attempts.
+    pub retries: u32,
+    /// Workload runtime while this index was building.
+    pub runtime_before: f64,
+    /// Workload runtime once this index became available.
+    pub runtime_after: f64,
+}
+
+/// One replan the runtime performed at an event boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanRecord {
+    /// Deployment clock at which the replan happened.
+    pub clock: f64,
+    /// What triggered it ("drift", "revision", "drift+revision").
+    pub trigger: String,
+    /// The frozen prefix at that moment — the builds already executed, in
+    /// order. The runtime's prefix-immutability invariant is checked against
+    /// exactly this snapshot: the final realized order must extend it.
+    pub frozen_prefix: Vec<IndexId>,
+    /// Number of indexes in the replanned suffix.
+    pub suffix_len: usize,
+    /// Residual objective of the order that was in flight, if it was still
+    /// usable as a warm start.
+    pub warm_start_objective: Option<f64>,
+    /// Residual objective of the chosen suffix order.
+    pub objective: f64,
+    /// Which solver produced the chosen order ("warm-start" when the
+    /// in-flight order survived).
+    pub solver: String,
+    /// `true` when the replan strictly improved on the in-flight order.
+    pub improved: bool,
+}
+
+/// The complete report of one deployment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentReport {
+    /// Every executed build, in realized order.
+    pub builds: Vec<ExecutedBuild>,
+    /// Every replan, in clock order.
+    pub replans: Vec<ReplanRecord>,
+    /// Realized cumulative cost: `Σ runtime_during · build_time` over every
+    /// attempt (successful and failed). With zero events and zero failures
+    /// this equals the offline objective area bit-for-bit.
+    pub realized_cost: f64,
+    /// Workload runtime after the last build.
+    pub final_runtime: f64,
+    /// Deployment clock at the end of the run.
+    pub total_clock: f64,
+    /// Clock spent in successful builds.
+    pub total_build_time: f64,
+    /// Clock lost to failed attempts.
+    pub total_wasted: f64,
+    /// Total failed attempts.
+    pub retries: u32,
+    /// Timed events applied during the run.
+    pub events_applied: usize,
+    /// Drop requests that were ignored (index already built, or dropping it
+    /// would orphan a scheduled index behind a precedence).
+    pub ineffective_drops: usize,
+}
+
+impl DeploymentReport {
+    /// The realized deployment order (what was actually built, in order).
+    pub fn realized_order(&self) -> Deployment {
+        Deployment::new(self.builds.iter().map(|b| b.index).collect())
+    }
+
+    /// Number of replans that strictly improved on the in-flight plan.
+    pub fn improved_replans(&self) -> usize {
+        self.replans.iter().filter(|r| r.improved).count()
+    }
+
+    /// `true` when the final realized order extends every replan's frozen
+    /// prefix — the observable form of the prefix-immutability invariant.
+    pub fn prefixes_respected(&self) -> bool {
+        let order = self.realized_order();
+        self.replans
+            .iter()
+            .all(|r| order.starts_with(&r.frozen_prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(position: usize, index: usize) -> ExecutedBuild {
+        ExecutedBuild {
+            position,
+            index: IndexId::new(index),
+            start: position as f64,
+            finish: position as f64 + 1.0,
+            cost: 1.0,
+            wasted: 0.0,
+            retries: 0,
+            runtime_before: 10.0,
+            runtime_after: 9.0,
+        }
+    }
+
+    #[test]
+    fn realized_order_and_prefix_checks() {
+        let report = DeploymentReport {
+            builds: vec![build(0, 2), build(1, 0), build(2, 1)],
+            replans: vec![ReplanRecord {
+                clock: 1.0,
+                trigger: "drift".into(),
+                frozen_prefix: vec![IndexId::new(2)],
+                suffix_len: 2,
+                warm_start_objective: Some(30.0),
+                objective: 25.0,
+                solver: "vns".into(),
+                improved: true,
+            }],
+            realized_cost: 30.0,
+            final_runtime: 9.0,
+            total_clock: 3.0,
+            total_build_time: 3.0,
+            total_wasted: 0.0,
+            retries: 0,
+            events_applied: 1,
+            ineffective_drops: 0,
+        };
+        assert_eq!(
+            report.realized_order().order(),
+            &[2, 0, 1].map(IndexId::new)
+        );
+        assert!(report.prefixes_respected());
+        assert_eq!(report.improved_replans(), 1);
+
+        let mut broken = report.clone();
+        broken.replans[0].frozen_prefix = vec![IndexId::new(0)];
+        assert!(!broken.prefixes_respected());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = DeploymentReport {
+            builds: vec![build(0, 0)],
+            replans: vec![],
+            realized_cost: 10.0,
+            final_runtime: 9.0,
+            total_clock: 1.0,
+            total_build_time: 1.0,
+            total_wasted: 0.0,
+            retries: 0,
+            events_applied: 0,
+            ineffective_drops: 0,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DeploymentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

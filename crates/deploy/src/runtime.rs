@@ -1,0 +1,643 @@
+//! The deterministic discrete-event deployment runtime.
+//!
+//! [`DeployRuntime::execute`] runs a deployment order build-by-build against
+//! a simulated query stream, applying the [`EvolutionScenario`]'s events at
+//! build boundaries (an in-flight build is atomic) and — under a replanning
+//! policy — re-optimizing the unbuilt suffix whenever the world changes:
+//!
+//! 1. the built prefix is **frozen** (never reordered, never rebuilt);
+//! 2. a residual instance for the unbuilt suffix is derived from the
+//!    *current* (drifted / revised) instance via
+//!    [`ProblemInstance::residual_excluding`];
+//! 3. the configured [`Replanner`] re-optimizes it, warm-started from the
+//!    order currently in flight;
+//! 4. the new suffix is spliced back behind the frozen prefix and validated
+//!    against the (possibly revised) precedence closure before execution
+//!    continues.
+//!
+//! Everything is deterministic: same instance, same initial plan, same
+//! scenario, same replanner ⇒ same report, and with a quiet scenario the
+//! realized cumulative cost reproduces the offline objective **bit-for-bit**
+//! (the runtime steps the same [`idd_core::ObjectiveStepper`] arithmetic the
+//! evaluator uses).
+
+use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
+use idd_core::{
+    CoreError, Deployment, EventKind, EvolutionEvent, EvolutionScenario, IndexId,
+    ObjectiveEvaluator, ProblemInstance,
+};
+use idd_solver::replan::{ReplanStrategy, Replanner};
+use idd_solver::SearchBudget;
+
+/// Errors a deployment run can hit.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The initial plan is not a valid deployment of the instance.
+    InvalidInitialPlan(CoreError),
+    /// An evolution event produced an inconsistent instance.
+    InfeasibleEvent(CoreError),
+    /// A replanned (or event-maintained) plan failed validation — a bug in
+    /// the replanning pipeline, surfaced instead of executed.
+    InvalidPlan(String),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::InvalidInitialPlan(e) => write!(f, "invalid initial plan: {e}"),
+            DeployError::InfeasibleEvent(e) => write!(f, "infeasible evolution event: {e}"),
+            DeployError::InvalidPlan(msg) => write!(f, "invalid in-flight plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<CoreError> for DeployError {
+    fn from(e: CoreError) -> Self {
+        DeployError::InfeasibleEvent(e)
+    }
+}
+
+/// Configuration of a deployment run.
+#[derive(Debug, Clone)]
+pub struct DeployConfig {
+    /// How (and whether) to re-optimize the suffix when an event lands.
+    /// [`ReplanStrategy::KeepOrder`] is the static baseline: events are
+    /// *applied* (weights drift, indexes appear/disappear) but the suffix
+    /// order is kept.
+    pub replanner: Replanner,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        Self {
+            replanner: Replanner::new(ReplanStrategy::KeepOrder, SearchBudget::nodes(200)),
+        }
+    }
+}
+
+impl DeployConfig {
+    /// The static baseline: execute the plan as-is, ignoring every chance
+    /// to re-optimize.
+    pub fn static_plan() -> Self {
+        Self::default()
+    }
+
+    /// Replan with one greedy pass per event.
+    pub fn greedy_replan() -> Self {
+        Self {
+            replanner: Replanner::new(ReplanStrategy::Greedy, SearchBudget::nodes(200)),
+        }
+    }
+
+    /// Replan with the warm-started portfolio under the given budget.
+    pub fn portfolio_replan(
+        cooperation: idd_solver::CooperationPolicy,
+        cancel_on_optimal: bool,
+        budget: SearchBudget,
+    ) -> Self {
+        Self {
+            replanner: Replanner::new(
+                ReplanStrategy::Portfolio {
+                    cooperation,
+                    cancel_on_optimal,
+                },
+                budget,
+            ),
+        }
+    }
+}
+
+/// The deployment runtime. See the module docs for the execution model.
+#[derive(Debug, Clone, Default)]
+pub struct DeployRuntime {
+    config: DeployConfig,
+}
+
+/// Mutable run state, grouped so the helper methods can borrow it wholesale.
+struct RunState {
+    instance: ProblemInstance,
+    /// Parent-id order of everything built so far (append-only).
+    built_order: Vec<IndexId>,
+    /// Parent-id bitmap of built indexes.
+    built: Vec<bool>,
+    /// Parent-id bitmap of retracted (dropped, unbuilt) indexes.
+    excluded: Vec<bool>,
+    /// The planned unbuilt suffix, in execution order (parent ids).
+    pending: Vec<IndexId>,
+    clock: f64,
+    report: DeploymentReport,
+}
+
+impl RunState {
+    /// Validates the in-flight plan: `pending` must cover exactly the
+    /// unbuilt, unexcluded indexes once each, and the spliced order
+    /// `built_order ++ pending` must satisfy every applicable precedence of
+    /// the current instance.
+    fn validate_plan(&self) -> Result<(), DeployError> {
+        let n = self.instance.num_indexes();
+        let mut position = vec![usize::MAX; n];
+        for (p, &i) in self
+            .built_order
+            .iter()
+            .chain(self.pending.iter())
+            .enumerate()
+        {
+            if i.raw() >= n {
+                return Err(DeployError::InvalidPlan(format!("{i} is out of range")));
+            }
+            if position[i.raw()] != usize::MAX {
+                return Err(DeployError::InvalidPlan(format!("{i} is scheduled twice")));
+            }
+            position[i.raw()] = p;
+        }
+        for (raw, &pos) in position.iter().enumerate() {
+            let scheduled = pos != usize::MAX;
+            let should_be = !self.excluded[raw] || self.built[raw];
+            if scheduled != should_be {
+                return Err(DeployError::InvalidPlan(format!(
+                    "index i{raw} is {} the plan but should {}be",
+                    if scheduled { "in" } else { "missing from" },
+                    if should_be { "" } else { "not " },
+                )));
+            }
+        }
+        for pr in self.instance.precedences() {
+            let before = position[pr.before.raw()];
+            let after = position[pr.after.raw()];
+            if after == usize::MAX {
+                continue; // constrained index left the target set: vacuous
+            }
+            if before == usize::MAX {
+                return Err(DeployError::InvalidPlan(format!(
+                    "{} requires retracted prerequisite {}",
+                    pr.after, pr.before
+                )));
+            }
+            if before > after {
+                return Err(DeployError::InvalidPlan(format!(
+                    "plan violates precedence {} -> {}",
+                    pr.before, pr.after
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one timed event, mutating the instance / target set and the
+    /// mechanically-maintained pending order (additions append, drops
+    /// remove). Returns the trigger label.
+    fn apply_event(&mut self, event: &EvolutionEvent) -> Result<&'static str, DeployError> {
+        match &event.kind {
+            EventKind::Drift(drift) => {
+                self.instance = drift.apply_to(&self.instance)?;
+                Ok("drift")
+            }
+            EventKind::Revision(revision) => {
+                let (revised, new_ids) = revision.apply_additions(&self.instance)?;
+                self.instance = revised;
+                let n = self.instance.num_indexes();
+                self.built.resize(n, false);
+                self.excluded.resize(n, false);
+                // New indexes join the plan at the end (a replan will place
+                // them properly; the static baseline keeps them there).
+                self.pending.extend(new_ids);
+                for &dropped in &revision.drop {
+                    if dropped.raw() >= n || self.built[dropped.raw()] {
+                        self.report.ineffective_drops += 1;
+                        continue;
+                    }
+                    // Tentatively retract, but refuse drops that orphan a
+                    // still-scheduled dependent behind a precedence.
+                    self.excluded[dropped.raw()] = true;
+                    let orphans = self.instance.precedences().iter().any(|pr| {
+                        pr.before == dropped
+                            && !self.built[pr.after.raw()]
+                            && !self.excluded[pr.after.raw()]
+                    });
+                    if orphans {
+                        self.excluded[dropped.raw()] = false;
+                        self.report.ineffective_drops += 1;
+                    } else {
+                        self.pending.retain(|&i| i != dropped);
+                    }
+                }
+                Ok("revision")
+            }
+        }
+    }
+}
+
+impl DeployRuntime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: DeployConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configured replan strategy's label ("static" / "greedy" /
+    /// "portfolio"), for reports.
+    pub fn policy_label(&self) -> &'static str {
+        self.config.replanner.strategy.label()
+    }
+
+    /// Executes `initial` against `scenario`. See the module docs for the
+    /// execution model and invariants.
+    pub fn execute(
+        &self,
+        instance: &ProblemInstance,
+        initial: &Deployment,
+        scenario: &EvolutionScenario,
+    ) -> Result<DeploymentReport, DeployError> {
+        initial
+            .validate(instance)
+            .map_err(DeployError::InvalidInitialPlan)?;
+        let n = instance.num_indexes();
+        let mut state = RunState {
+            instance: instance.clone(),
+            built_order: Vec::with_capacity(n),
+            built: vec![false; n],
+            excluded: vec![false; n],
+            pending: initial.order().to_vec(),
+            clock: 0.0,
+            report: DeploymentReport {
+                builds: Vec::new(),
+                replans: Vec::new(),
+                realized_cost: 0.0,
+                final_runtime: 0.0,
+                total_clock: 0.0,
+                total_build_time: 0.0,
+                total_wasted: 0.0,
+                retries: 0,
+                events_applied: 0,
+                ineffective_drops: 0,
+            },
+        };
+
+        // Earliest event last, so `pop` yields events in time order.
+        let mut queue = scenario.sorted_events();
+        queue.reverse();
+
+        loop {
+            // 1. Land every event due at this boundary, then replan once.
+            let mut triggers: Vec<&'static str> = Vec::new();
+            while queue
+                .last()
+                .is_some_and(|e| e.at <= state.clock || state.pending.is_empty())
+            {
+                let event = queue.pop().expect("peeked");
+                // Post-completion events take effect when they land, not
+                // retroactively: idle time between builds accrues no cost.
+                state.clock = state.clock.max(event.at);
+                let label = state.apply_event(&event)?;
+                if !triggers.contains(&label) {
+                    triggers.push(label);
+                }
+                state.report.events_applied += 1;
+            }
+            if !triggers.is_empty() {
+                self.replan(&mut state, &triggers.join("+"))?;
+                state.validate_plan()?;
+            }
+
+            // 2. Nothing pending and nothing queued: done. The final
+            //    runtime is re-derived by replaying the realized order on
+            //    the *current* instance — the same arithmetic the offline
+            //    evaluator uses, so the quiet-scenario run matches it
+            //    bit-for-bit.
+            if state.pending.is_empty() && queue.is_empty() {
+                let evaluator = ObjectiveEvaluator::new(&state.instance);
+                let mut stepper = evaluator.stepper();
+                for &i in &state.built_order {
+                    stepper.step(i);
+                }
+                state.report.final_runtime = stepper.runtime();
+                break;
+            }
+
+            // 3. Execute builds until the next event is due (or the plan
+            //    runs out). The stepper replays the frozen prefix so its
+            //    arithmetic — and therefore the realized cost — matches the
+            //    offline evaluator's exactly.
+            let evaluator = ObjectiveEvaluator::new(&state.instance);
+            let mut stepper = evaluator.stepper();
+            for &i in &state.built_order {
+                stepper.step(i);
+            }
+            while !state.pending.is_empty() {
+                if queue.last().is_some_and(|e| e.at <= state.clock) {
+                    break; // event boundary: back to step 1
+                }
+                let next = state.pending.remove(0);
+                let start = state.clock;
+
+                // Failed attempts waste clock at the current runtime.
+                let mut wasted = 0.0;
+                let mut retries = 0u32;
+                if let Some(failure) = scenario.failure_for(next) {
+                    let cost = state.instance.effective_build_cost(next, stepper.built());
+                    let waste = cost * failure.waste_fraction.clamp(0.0, 1.0);
+                    for _ in 0..failure.failures {
+                        state.report.realized_cost += stepper.runtime() * waste;
+                        wasted += waste;
+                        retries += 1;
+                    }
+                }
+
+                let step = stepper.step(next);
+                state.report.realized_cost += step.runtime_before * step.build_cost;
+                state.clock += wasted + step.build_cost;
+                state.report.builds.push(ExecutedBuild {
+                    position: state.built_order.len(),
+                    index: next,
+                    start,
+                    finish: state.clock,
+                    cost: step.build_cost,
+                    wasted,
+                    retries,
+                    runtime_before: step.runtime_before,
+                    runtime_after: step.runtime_after,
+                });
+                state.report.total_build_time += step.build_cost;
+                state.report.total_wasted += wasted;
+                state.report.retries += retries;
+                state.built_order.push(next);
+                state.built[next.raw()] = true;
+            }
+        }
+
+        state.report.total_clock = state.clock;
+        debug_assert!(state.report.prefixes_respected());
+        Ok(state.report)
+    }
+
+    /// Freezes the prefix, derives the residual instance, re-optimizes it
+    /// (warm-started from the in-flight order) and splices the result back.
+    fn replan(&self, state: &mut RunState, trigger: &str) -> Result<(), DeployError> {
+        if state.pending.is_empty() {
+            return Ok(());
+        }
+        let residual = state
+            .instance
+            .residual_excluding(&state.built, &state.excluded)?;
+        // Mechanical plan maintenance (appends on addition, removals on
+        // drop) must keep the suffix a permutation of the residual indexes.
+        // If it ever does not, surface the bug — a `None` warm start would
+        // make the replanner fall back to greedy, silently turning the
+        // static baseline into a replanning policy.
+        let warm = residual.project_order(&state.pending).ok_or_else(|| {
+            DeployError::InvalidPlan(
+                "in-flight suffix is not a permutation of the residual indexes".into(),
+            )
+        })?;
+        let outcome = self
+            .config
+            .replanner
+            .replan(residual.instance(), Some(&warm));
+        let new_pending = residual.lift_order(outcome.deployment.order());
+
+        // The spliced order must extend the frozen prefix and satisfy the
+        // (possibly revised) closure — checked here *and* by validate_plan.
+        let spliced = Deployment::splice(&state.built_order, &new_pending);
+        if !spliced.starts_with(&state.built_order) {
+            return Err(DeployError::InvalidPlan(
+                "replan reordered the frozen prefix".into(),
+            ));
+        }
+
+        state.report.replans.push(ReplanRecord {
+            clock: state.clock,
+            trigger: trigger.to_string(),
+            frozen_prefix: state.built_order.clone(),
+            suffix_len: new_pending.len(),
+            warm_start_objective: outcome.warm_start_objective,
+            objective: outcome.objective,
+            solver: outcome.solver,
+            improved: outcome.improved,
+        });
+        state.pending = new_pending;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idd_core::{DesignRevision, EvolutionEvent, IndexAddition, QueryId, WorkloadDrift};
+
+    /// The paper-style competing example plus a second query, so drift has
+    /// something to move between.
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("runtime");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(6.0);
+        let i2 = b.add_index(3.0);
+        let i3 = b.add_index(5.0);
+        let q0 = b.add_query(30.0);
+        b.add_plan(q0, vec![i0], 5.0);
+        b.add_plan(q0, vec![i1], 20.0);
+        let q1 = b.add_query(40.0);
+        b.add_plan(q1, vec![i2], 8.0);
+        b.add_plan(q1, vec![i2, i3], 25.0);
+        b.add_build_interaction(i1, i0, 2.0);
+        b.add_build_interaction(i3, i2, 1.5);
+        b.build().unwrap()
+    }
+
+    fn drift_at(at: f64, query: usize, weight: f64) -> EvolutionEvent {
+        EvolutionEvent {
+            at,
+            kind: EventKind::Drift(WorkloadDrift {
+                weights: vec![(QueryId::new(query), weight)],
+            }),
+        }
+    }
+
+    #[test]
+    fn quiet_scenario_reproduces_the_offline_objective_bit_for_bit() {
+        let inst = instance();
+        let plan = Deployment::from_raw([1, 0, 3, 2]);
+        let offline = ObjectiveEvaluator::new(&inst).evaluate(&plan);
+        let report = DeployRuntime::default()
+            .execute(&inst, &plan, &EvolutionScenario::quiet("none"))
+            .unwrap();
+        assert_eq!(report.realized_cost.to_bits(), offline.area.to_bits());
+        assert_eq!(report.final_runtime, offline.final_runtime);
+        assert_eq!(report.total_clock, offline.deployment_time);
+        assert_eq!(report.realized_order(), plan);
+        assert!(report.replans.is_empty());
+        assert_eq!(report.events_applied, 0);
+    }
+
+    #[test]
+    fn drift_changes_realized_cost_even_for_the_static_plan() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let offline = ObjectiveEvaluator::new(&inst).evaluate_area(&plan);
+        let scenario = EvolutionScenario {
+            name: "drift".into(),
+            events: vec![drift_at(4.0, 1, 5.0)],
+            failures: vec![],
+        };
+        let report = DeployRuntime::new(DeployConfig::static_plan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        // Same order executed, but the cost after t=4 is paid at the new
+        // weights, so realized != offline.
+        assert_eq!(report.realized_order(), plan);
+        assert!(report.realized_cost > offline);
+        assert_eq!(report.events_applied, 1);
+        // The static baseline records its (non-)replans as warm-start keeps.
+        assert_eq!(report.replans.len(), 1);
+        assert_eq!(report.replans[0].solver, "warm-start");
+        assert!(!report.replans[0].improved);
+    }
+
+    #[test]
+    fn replanning_beats_the_static_plan_on_a_hostile_drift() {
+        let inst = instance();
+        // Offline-optimal-ish start that serves q0 first; then q1 becomes
+        // 10x as important while q0 evaporates.
+        let plan = Deployment::from_raw([1, 0, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "hostile".into(),
+            events: vec![EvolutionEvent {
+                at: 6.0, // right after the first build
+                kind: EventKind::Drift(WorkloadDrift {
+                    weights: vec![(QueryId::new(0), 0.1), (QueryId::new(1), 10.0)],
+                }),
+            }],
+            failures: vec![],
+        };
+        let static_cost = DeployRuntime::new(DeployConfig::static_plan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap()
+            .realized_cost;
+        let replanned = DeployRuntime::new(DeployConfig::greedy_replan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert!(
+            replanned.realized_cost < static_cost - 1e-9,
+            "greedy replan {} must beat static {static_cost}",
+            replanned.realized_cost
+        );
+        assert!(replanned.prefixes_respected());
+        assert_eq!(replanned.replans.len(), 1);
+        assert!(replanned.replans[0].improved);
+    }
+
+    #[test]
+    fn revisions_extend_and_shrink_the_plan_mid_flight() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "revision".into(),
+            events: vec![EvolutionEvent {
+                at: 4.0,
+                kind: EventKind::Revision(DesignRevision {
+                    add: vec![IndexAddition {
+                        name: "late_arrival".into(),
+                        creation_cost: 2.0,
+                        plans: vec![(QueryId::new(1), vec![], 30.0)],
+                        helped_by: vec![(IndexId::new(2), 1.0)],
+                        helps: vec![],
+                        after: vec![IndexId::new(0)],
+                    }],
+                    drop: vec![IndexId::new(3), IndexId::new(0)],
+                }),
+            }],
+            failures: vec![],
+        };
+        let report = DeployRuntime::new(DeployConfig::greedy_replan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        let order = report.realized_order();
+        // i0 was already built when the drop landed: ineffective. i3 was
+        // retracted. The new index was built.
+        assert_eq!(report.ineffective_drops, 1);
+        assert_eq!(order.len(), 4);
+        assert!(order.position_of(IndexId::new(3)).is_none());
+        assert!(order.position_of(IndexId::new(4)).is_some());
+        // The addition's precedence (i0 before the new index) holds.
+        assert!(
+            order.position_of(IndexId::new(0)).unwrap()
+                < order.position_of(IndexId::new(4)).unwrap()
+        );
+        assert!(report.prefixes_respected());
+    }
+
+    #[test]
+    fn failures_waste_clock_and_are_reported() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let quiet_cost = DeployRuntime::default()
+            .execute(&inst, &plan, &EvolutionScenario::quiet("q"))
+            .unwrap()
+            .realized_cost;
+        let scenario = EvolutionScenario {
+            name: "flaky".into(),
+            events: vec![],
+            failures: vec![idd_core::BuildFailure {
+                index: IndexId::new(1),
+                failures: 2,
+                waste_fraction: 0.5,
+            }],
+        };
+        let report = DeployRuntime::default()
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(report.retries, 2);
+        // i1 costs 4 effective (6 - 2 from i0): two half-cost failures
+        // waste 4.0 clock at the post-i0 workload runtime of 65s
+        // (q0 30→25 via its 5s plan, q1 still 40).
+        assert!((report.total_wasted - 4.0).abs() < 1e-9);
+        assert!((report.realized_cost - (quiet_cost + 65.0 * 4.0)).abs() < 1e-9);
+        assert_eq!(report.total_clock, report.total_build_time + 4.0);
+        assert_eq!(report.builds[1].retries, 2);
+        assert_eq!(report.builds[1].wasted, 4.0);
+    }
+
+    #[test]
+    fn post_completion_revisions_start_a_new_tail() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        // Deployment lasts 4+4+3+3.5 = 14.5s; the revision lands at t=50.
+        let scenario = EvolutionScenario {
+            name: "late".into(),
+            events: vec![EvolutionEvent {
+                at: 50.0,
+                kind: EventKind::Revision(DesignRevision {
+                    add: vec![IndexAddition {
+                        name: "after_the_fact".into(),
+                        creation_cost: 1.0,
+                        plans: vec![(QueryId::new(0), vec![], 25.0)],
+                        helped_by: vec![],
+                        helps: vec![],
+                        after: vec![],
+                    }],
+                    drop: vec![],
+                }),
+            }],
+            failures: vec![],
+        };
+        let report = DeployRuntime::new(DeployConfig::greedy_replan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(report.builds.len(), 5);
+        // The tail build starts when the event lands, with no idle cost.
+        assert_eq!(report.builds[4].start, 50.0);
+        assert_eq!(report.total_clock, 51.0);
+        assert_eq!(report.total_build_time, 15.5);
+    }
+
+    #[test]
+    fn invalid_initial_plan_is_rejected() {
+        let inst = instance();
+        let short = Deployment::from_raw([0, 1]);
+        let err = DeployRuntime::default()
+            .execute(&inst, &short, &EvolutionScenario::quiet("q"))
+            .unwrap_err();
+        assert!(matches!(err, DeployError::InvalidInitialPlan(_)));
+        assert!(err.to_string().contains("invalid initial plan"));
+    }
+}

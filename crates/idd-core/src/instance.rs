@@ -339,6 +339,15 @@ impl InstanceBuilder {
         id
     }
 
+    /// Overrides the weight of an already-added query (used by workload
+    /// drift, where only the relative importance of queries moves).
+    ///
+    /// # Panics
+    /// Panics when `query` has not been added yet.
+    pub fn set_query_weight(&mut self, query: QueryId, weight: f64) {
+        self.queries[query.raw()].weight = weight;
+    }
+
     /// Adds a plan for `query` requiring `indexes` with the given speed-up;
     /// returns its id.
     pub fn add_plan(&mut self, query: QueryId, indexes: Vec<IndexId>, speedup: f64) -> PlanId {

@@ -27,6 +27,7 @@
 
 pub mod curve;
 pub mod error;
+pub mod evolution;
 pub mod index;
 pub mod instance;
 pub mod interaction;
@@ -35,6 +36,7 @@ pub mod objective;
 pub mod plan;
 pub mod query;
 pub mod reduce;
+pub mod residual;
 pub mod schedule;
 pub mod solution;
 pub mod stats;
@@ -45,14 +47,21 @@ pub mod prelude;
 
 pub use curve::{CurvePoint, ImprovementCurve};
 pub use error::{CoreError, Result};
+pub use evolution::{
+    BuildFailure, DesignRevision, EventKind, EvolutionEvent, EvolutionScenario, IndexAddition,
+    WorkloadDrift,
+};
 pub use index::IndexMeta;
 pub use instance::{InstanceBuilder, ProblemInstance};
 pub use interaction::{BuildInteraction, Precedence};
 pub use matrix::MatrixFile;
-pub use objective::{ObjectiveEvaluator, ObjectiveValue, PrefixEvaluator, StepMetrics};
+pub use objective::{
+    ObjectiveEvaluator, ObjectiveStepper, ObjectiveValue, PrefixEvaluator, StepMetrics,
+};
 pub use plan::QueryPlan;
 pub use query::QueryMeta;
 pub use reduce::{reduce, Density, ReduceOptions};
+pub use residual::ResidualInstance;
 pub use schedule::{DeploymentSchedule, ScheduledBuild};
 pub use solution::Deployment;
 pub use stats::InstanceStats;

@@ -279,6 +279,70 @@ impl<'a> ObjectiveEvaluator<'a> {
     }
 }
 
+/// A re-entrant stepper over the evaluation state, for consumers that
+/// *execute* a deployment one build at a time (the `idd-deploy` runtime)
+/// rather than scoring a complete order.
+///
+/// Guarantee: applying a sequence of indexes through
+/// [`ObjectiveStepper::step`] performs bit-for-bit the same floating-point
+/// operations as [`ObjectiveEvaluator::evaluate`] on that order — a runtime
+/// that accumulates `runtime_before · build_cost` per step reproduces the
+/// offline objective *exactly*, not just within a tolerance.
+#[derive(Debug, Clone)]
+pub struct ObjectiveStepper<'a> {
+    evaluator: ObjectiveEvaluator<'a>,
+    state: EvalState,
+}
+
+impl<'a> ObjectiveStepper<'a> {
+    /// Applies one deployment step (builds `index`) and returns its metrics.
+    pub fn step(&mut self, index: IndexId) -> StepMetrics {
+        self.evaluator.apply_step(&mut self.state, index)
+    }
+
+    /// Current total workload runtime (after everything stepped so far).
+    pub fn runtime(&self) -> f64 {
+        self.state.runtime
+    }
+
+    /// Accumulated objective area so far.
+    pub fn area(&self) -> f64 {
+        self.state.area
+    }
+
+    /// Accumulated deployment time so far.
+    pub fn elapsed(&self) -> f64 {
+        self.state.elapsed
+    }
+
+    /// Bitmap of built indexes, keyed by raw index id.
+    pub fn built(&self) -> &[bool] {
+        &self.state.built
+    }
+
+    /// Number of indexes built so far.
+    pub fn built_count(&self) -> usize {
+        self.state.built_count
+    }
+
+    /// `true` when `index` has been stepped already.
+    pub fn is_built(&self, index: IndexId) -> bool {
+        self.state.built[index.raw()]
+    }
+}
+
+impl<'a> ObjectiveEvaluator<'a> {
+    /// Starts a fresh [`ObjectiveStepper`] (nothing built yet). The stepper
+    /// owns a clone of this evaluator, so it stays usable after the borrow
+    /// ends.
+    pub fn stepper(&self) -> ObjectiveStepper<'a> {
+        ObjectiveStepper {
+            state: EvalState::initial(self),
+            evaluator: self.clone(),
+        }
+    }
+}
+
 /// Incremental evaluator for local search over a *base* deployment order.
 ///
 /// [`PrefixEvaluator::set_base`] records a checkpoint of the evaluation state
@@ -507,6 +571,31 @@ mod tests {
         // No speed-up until both are built: area = 50*2 + 50*2 = 200.
         assert!((v.area - 200.0).abs() < 1e-9);
         assert!((v.final_runtime - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stepper_replays_evaluate_bit_for_bit() {
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        for order in [[0usize, 1], [1, 0]] {
+            let d = Deployment::from_raw(order);
+            let value = eval.evaluate(&d);
+            let mut stepper = eval.stepper();
+            assert_eq!(stepper.built_count(), 0);
+            let mut realized = 0.0_f64;
+            for (pos, index) in d.iter() {
+                let step = stepper.step(index);
+                assert_eq!(step, value.steps[pos]);
+                realized += step.runtime_before * step.build_cost;
+            }
+            // Bit-for-bit, not approximately: same ops in the same order.
+            assert_eq!(realized.to_bits(), value.area.to_bits());
+            assert_eq!(stepper.area().to_bits(), value.area.to_bits());
+            assert_eq!(stepper.runtime(), value.final_runtime);
+            assert_eq!(stepper.elapsed(), value.deployment_time);
+            assert!(stepper.is_built(IndexId::new(0)));
+            assert_eq!(stepper.built(), &[true, true]);
+        }
     }
 
     #[test]

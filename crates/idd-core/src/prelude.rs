@@ -2,14 +2,21 @@
 
 pub use crate::curve::{CurvePoint, ImprovementCurve};
 pub use crate::error::{CoreError, Result as CoreResult};
+pub use crate::evolution::{
+    BuildFailure, DesignRevision, EventKind, EvolutionEvent, EvolutionScenario, IndexAddition,
+    WorkloadDrift,
+};
 pub use crate::index::IndexMeta;
 pub use crate::instance::{InstanceBuilder, ProblemInstance};
 pub use crate::interaction::{BuildInteraction, Precedence};
 pub use crate::matrix::MatrixFile;
-pub use crate::objective::{ObjectiveEvaluator, ObjectiveValue, PrefixEvaluator, StepMetrics};
+pub use crate::objective::{
+    ObjectiveEvaluator, ObjectiveStepper, ObjectiveValue, PrefixEvaluator, StepMetrics,
+};
 pub use crate::plan::QueryPlan;
 pub use crate::query::QueryMeta;
 pub use crate::reduce::{reduce, Density, ReduceOptions};
+pub use crate::residual::ResidualInstance;
 pub use crate::schedule::{DeploymentSchedule, ScheduledBuild};
 pub use crate::solution::Deployment;
 pub use crate::stats::InstanceStats;

@@ -112,6 +112,32 @@ impl DeploymentSchedule {
         (self.baseline_runtime, self.final_runtime)
     }
 
+    /// Number of builds finished at or before deployment clock `clock` —
+    /// the length of the frozen prefix when an evolution event lands at that
+    /// moment (an in-flight build is atomic and counts as unfinished).
+    ///
+    /// Offered for consumers that reason about *planned* schedules (what
+    /// would be frozen if an event landed at `clock`?); the `idd-deploy`
+    /// runtime tracks its realized prefix directly and does not go through
+    /// this view.
+    pub fn completed_by(&self, clock: f64) -> usize {
+        self.builds
+            .iter()
+            .take_while(|b| b.finish <= clock + 1e-12)
+            .count()
+    }
+
+    /// The index ids of the first `count` builds, in execution order — a
+    /// frozen prefix in the shape [`crate::ProblemInstance::residual`]
+    /// expects (as a built bitmap) and
+    /// [`crate::Deployment::splice`] consumes.
+    pub fn prefix_order(&self, count: usize) -> Vec<IndexId> {
+        self.builds[..count.min(self.builds.len())]
+            .iter()
+            .map(|b| b.index)
+            .collect()
+    }
+
     /// The moment (deployment clock) at which the workload has realized at
     /// least `fraction` (0–1) of its eventual total speed-up, or `None` when
     /// the deployment yields no speed-up at all.
@@ -250,6 +276,20 @@ mod tests {
         let no_gain = b.build().unwrap();
         let sched = DeploymentSchedule::new(&no_gain, &Deployment::identity(1));
         assert_eq!(sched.time_to_realize(0.5), None);
+    }
+
+    #[test]
+    fn completed_by_counts_finished_builds_only() {
+        let inst = instance();
+        let schedule = DeploymentSchedule::new(&inst, &Deployment::from_raw([0, 1]));
+        // Builds finish at t=6 and t=7.
+        assert_eq!(schedule.completed_by(0.0), 0);
+        assert_eq!(schedule.completed_by(5.9), 0);
+        assert_eq!(schedule.completed_by(6.0), 1);
+        assert_eq!(schedule.completed_by(6.5), 1);
+        assert_eq!(schedule.completed_by(7.0), 2);
+        assert_eq!(schedule.prefix_order(1), vec![IndexId::new(0)]);
+        assert_eq!(schedule.prefix_order(9).len(), 2);
     }
 
     #[test]

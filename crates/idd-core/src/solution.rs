@@ -92,6 +92,21 @@ impl Deployment {
         self.order.insert(to, idx);
     }
 
+    /// Concatenates a frozen prefix and a suffix into one order (mid-flight
+    /// replanning: the built prefix is taken verbatim, never reordered).
+    pub fn splice(prefix: &[IndexId], suffix: &[IndexId]) -> Self {
+        let mut order = Vec::with_capacity(prefix.len() + suffix.len());
+        order.extend_from_slice(prefix);
+        order.extend_from_slice(suffix);
+        Self { order }
+    }
+
+    /// `true` when this order begins with exactly `prefix` (the
+    /// prefix-immutability check of the deployment runtime).
+    pub fn starts_with(&self, prefix: &[IndexId]) -> bool {
+        self.order.len() >= prefix.len() && self.order[..prefix.len()] == *prefix
+    }
+
     /// Iterates over `(position, index)` pairs in deployment order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, IndexId)> + '_ {
         self.order.iter().copied().enumerate()
@@ -221,6 +236,18 @@ mod tests {
         assert_eq!(e.at(0), IndexId::new(2));
         // Original untouched.
         assert_eq!(d.at(0), IndexId::new(3));
+    }
+
+    #[test]
+    fn splice_keeps_the_prefix_verbatim() {
+        let prefix = [IndexId::new(2), IndexId::new(0)];
+        let suffix = [IndexId::new(1), IndexId::new(3)];
+        let d = Deployment::splice(&prefix, &suffix);
+        assert_eq!(d.order(), &[2, 0, 1, 3].map(IndexId::new));
+        assert!(d.starts_with(&prefix));
+        assert!(d.starts_with(&[]));
+        assert!(!d.starts_with(&[IndexId::new(0)]));
+        assert!(!Deployment::from_raw([1]).starts_with(&prefix));
     }
 
     #[test]

@@ -133,7 +133,7 @@ impl CpSolver {
             open_alliance: None,
         };
 
-        // Warm start.
+        // Warm start from the explicit initial deployment, if any.
         if let Some(initial) = &self.config.initial {
             if initial.is_valid_for(instance) {
                 let area = idd_core::ObjectiveEvaluator::new(instance).evaluate_area(initial);
@@ -141,6 +141,29 @@ impl CpSolver {
                 ctx.best_order = Some(initial.order().to_vec());
                 ctx.trajectory.record(ctx.clock.elapsed_seconds(), area);
                 ctx.shared.publish_deployment(area, initial.order());
+            }
+        }
+
+        // Cooperative warm start: a CP member (re)starting inside a
+        // warm-start portfolio adopts the shared best *deployment* as its
+        // initial incumbent when it beats the explicit one. This is sound
+        // for the optimality proof — the bound is a feasible order the
+        // member now holds (re-evaluated locally, never a bare objective
+        // from another thread) — and it is what makes the paper's
+        // Section-6 "heuristic seeds the exact search" loop work in both
+        // directions inside the portfolio. Gated on the policy, so
+        // `CooperationPolicy::Off` runs are bit-identical to before.
+        if shared.cooperation().warm_starts() {
+            if let Some(snapshot) = shared.incumbent().best_deployment() {
+                let adopted = Deployment::new(snapshot.order);
+                if adopted.is_valid_for(instance) {
+                    let area = idd_core::ObjectiveEvaluator::new(instance).evaluate_area(&adopted);
+                    if area < ctx.best_area {
+                        ctx.best_area = area;
+                        ctx.best_order = Some(adopted.order().to_vec());
+                        ctx.trajectory.record(ctx.clock.elapsed_seconds(), area);
+                    }
+                }
             }
         }
 

@@ -52,6 +52,7 @@ pub mod mincut;
 pub mod portfolio;
 pub mod properties;
 pub mod random;
+pub mod replan;
 pub mod result;
 pub mod solver;
 
@@ -64,6 +65,7 @@ pub use dp::DpSolver;
 pub use greedy::GreedySolver;
 pub use portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSolver};
 pub use random::RandomSolver;
+pub use replan::{ReplanOutcome, ReplanStrategy, Replanner};
 pub use result::{CoopStats, SolveOutcome, SolveResult};
 pub use solver::{
     CancelToken, CooperationPolicy, IncumbentSnapshot, NeighborhoodHints, SharedIncumbent,

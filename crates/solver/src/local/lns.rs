@@ -44,9 +44,10 @@ pub struct LnsConfig {
     pub analysis: AnalysisOptions,
     /// Iterations without improvement before the member counts as *stalled*
     /// and (under a warm-start policy) re-seeds from the shared best
-    /// deployment. A slice of the iteration budget; ignored outside
-    /// cooperative portfolio runs.
-    pub stall_iterations: u64,
+    /// deployment. `None` (the default) derives a slice of the budget via
+    /// [`crate::local::derived_stall_iterations`]; `Some(n)` overrides it.
+    /// Ignored outside cooperative portfolio runs.
+    pub stall_iterations: Option<u64>,
 }
 
 impl Default for LnsConfig {
@@ -57,7 +58,7 @@ impl Default for LnsConfig {
             budget: SearchBudget::default(),
             seed: 0x1A5,
             analysis: AnalysisOptions::none(),
-            stall_iterations: 25,
+            stall_iterations: None,
         }
     }
 }
@@ -114,7 +115,11 @@ impl LnsSolver {
         let relax_count =
             ((n as f64 * self.config.relax_fraction).ceil() as usize).clamp(2.min(n), n);
 
-        let mut coop = Cooperator::new(ctx, self.config.stall_iterations);
+        let stall = self
+            .config
+            .stall_iterations
+            .unwrap_or_else(|| crate::local::derived_stall_iterations(&self.config.budget));
+        let mut coop = Cooperator::new(ctx, stall);
         let mut iterations = 0u64;
         while !clock.exhausted() && n >= 2 {
             iterations += 1;

@@ -15,12 +15,37 @@ pub use lns::{LnsConfig, LnsSolver};
 pub use tabu::{SwapStrategy, TabuConfig, TabuSolver};
 pub use vns::{VnsConfig, VnsSolver};
 
+use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::exact::state::SearchState;
 use crate::result::CoopStats;
 use crate::solver::{CooperationPolicy, IncumbentSnapshot, SolveContext};
 use idd_core::{IndexId, ProblemInstance};
+
+/// Derives a stall threshold (iterations without improvement before a
+/// member re-seeds from the shared best) as a *slice of the budget*, so the
+/// knob scales with how long the member actually runs instead of being a
+/// fixed per-config count:
+///
+/// * node-limited budgets stall after 1/8 of the iteration allowance — a
+///   member gets several restart opportunities within its run, but each
+///   basin is explored long enough to pay off;
+/// * time-limited budgets assume the ~25 iterations/second a mid-size
+///   instance sustains and take the same 1/8 slice of that;
+/// * unlimited budgets fall back to a generous fixed threshold.
+///
+/// Every local-search config keeps an explicit override
+/// (`stall_iterations: Some(n)`); this function only supplies the default.
+pub fn derived_stall_iterations(budget: &SearchBudget) -> u64 {
+    if let Some(nodes) = budget.node_limit {
+        (nodes / 8).clamp(4, 2_000)
+    } else if let Some(limit) = budget.time_limit {
+        ((limit.as_secs_f64() * 25.0 / 8.0).ceil() as u64).clamp(4, 2_000)
+    } else {
+        200
+    }
+}
 
 /// Shared stall-detection / warm-start machinery for the three local
 /// searches (tabu, LNS, VNS).
@@ -358,6 +383,28 @@ mod tests {
         // exceeded by the very first pruned node.
         assert!(!result.proved);
         assert!(result.order.is_none());
+    }
+
+    #[test]
+    fn stall_threshold_is_a_slice_of_the_budget() {
+        use crate::budget::SearchBudget;
+        // Node-limited: 1/8 of the allowance, clamped below by 4.
+        assert_eq!(derived_stall_iterations(&SearchBudget::nodes(800)), 100);
+        assert_eq!(derived_stall_iterations(&SearchBudget::nodes(10)), 4);
+        assert_eq!(
+            derived_stall_iterations(&SearchBudget::nodes(1_000_000)),
+            2_000
+        );
+        // Time-limited: ~25 iterations/second, same 1/8 slice.
+        assert_eq!(derived_stall_iterations(&SearchBudget::seconds(8.0)), 25);
+        assert_eq!(derived_stall_iterations(&SearchBudget::seconds(0.1)), 4);
+        // Unlimited: fixed generous fallback.
+        assert_eq!(derived_stall_iterations(&SearchBudget::unlimited()), 200);
+        // A bounded budget prefers the node limit (machine-independent).
+        assert_eq!(
+            derived_stall_iterations(&SearchBudget::bounded(100.0, 80)),
+            10
+        );
     }
 
     #[test]

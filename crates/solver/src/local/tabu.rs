@@ -52,9 +52,10 @@ pub struct TabuConfig {
     pub seed: u64,
     /// Iterations without improvement on the member's own best before it
     /// counts as *stalled* and (under a warm-start policy) re-seeds from the
-    /// shared best deployment. A slice of the iteration budget; ignored
-    /// outside cooperative portfolio runs.
-    pub stall_iterations: u64,
+    /// shared best deployment. `None` (the default) derives a slice of the
+    /// budget via [`crate::local::derived_stall_iterations`]; `Some(n)`
+    /// overrides it. Ignored outside cooperative portfolio runs.
+    pub stall_iterations: Option<u64>,
 }
 
 impl Default for TabuConfig {
@@ -64,7 +65,7 @@ impl Default for TabuConfig {
             tabu_length: 7,
             budget: SearchBudget::default(),
             seed: 0x7AB,
-            stall_iterations: 25,
+            stall_iterations: None,
         }
     }
 }
@@ -126,7 +127,11 @@ impl TabuSolver {
             SwapStrategy::First => "ts-fswap",
         };
 
-        let mut coop = Cooperator::new(ctx, self.config.stall_iterations);
+        let stall = self
+            .config
+            .stall_iterations
+            .unwrap_or_else(|| crate::local::derived_stall_iterations(&self.config.budget));
+        let mut coop = Cooperator::new(ctx, stall);
         while !clock.exhausted() && n >= 2 {
             iteration += 1;
             clock.count_node();

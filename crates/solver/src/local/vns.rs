@@ -53,9 +53,10 @@ pub struct VnsConfig {
     pub analysis: AnalysisOptions,
     /// Iterations without improvement before the member counts as *stalled*
     /// and (under a warm-start policy) re-seeds from the shared best
-    /// deployment. A slice of the iteration budget; ignored outside
-    /// cooperative portfolio runs.
-    pub stall_iterations: u64,
+    /// deployment. `None` (the default) derives a slice of the budget via
+    /// [`crate::local::derived_stall_iterations`]; `Some(n)` overrides it.
+    /// Ignored outside cooperative portfolio runs.
+    pub stall_iterations: Option<u64>,
 }
 
 impl Default for VnsConfig {
@@ -70,7 +71,7 @@ impl Default for VnsConfig {
             budget: SearchBudget::default(),
             seed: 0x7145,
             analysis: AnalysisOptions::none(),
-            stall_iterations: 25,
+            stall_iterations: None,
         }
     }
 }
@@ -130,7 +131,11 @@ impl VnsSolver {
         let mut proofs_in_group = 0usize;
         let mut group_progress = 0usize;
 
-        let mut coop = Cooperator::new(ctx, self.config.stall_iterations);
+        let stall = self
+            .config
+            .stall_iterations
+            .unwrap_or_else(|| crate::local::derived_stall_iterations(&self.config.budget));
+        let mut coop = Cooperator::new(ctx, stall);
         let mut iterations = 0u64;
         while !clock.exhausted() && n >= 2 {
             iterations += 1;

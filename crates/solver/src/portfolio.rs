@@ -190,6 +190,19 @@ impl PortfolioSolver {
         self.race(instance, self.config.budget, &SolveContext::new())
     }
 
+    /// Races the members inside the *caller's* context — shared cancel
+    /// token, incumbent and hint deque — and reports both the combined and
+    /// the per-member results. Pre-seeding the context's incumbent before
+    /// calling this is how a replan warm-starts the race from the order
+    /// currently in flight.
+    pub fn solve_detailed_in(
+        &self,
+        instance: &ProblemInstance,
+        ctx: &SolveContext,
+    ) -> PortfolioOutcome {
+        self.race(instance, self.config.budget, ctx)
+    }
+
     fn race(
         &self,
         instance: &ProblemInstance,

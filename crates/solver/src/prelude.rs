@@ -12,6 +12,7 @@ pub use crate::local::{
 pub use crate::portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSolver};
 pub use crate::properties::{analyze, AnalysisOptions, AnalysisReport};
 pub use crate::random::{RandomSolver, RandomSummary};
+pub use crate::replan::{ReplanOutcome, ReplanStrategy, Replanner};
 pub use crate::result::{CoopStats, SolveOutcome, SolveResult};
 pub use crate::solver::{
     CancelToken, CooperationPolicy, IncumbentSnapshot, NeighborhoodHints, SharedIncumbent,

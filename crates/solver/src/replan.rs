@@ -1,0 +1,327 @@
+//! Mid-flight replanning: re-optimizing the unbuilt suffix of a deployment.
+//!
+//! When an evolution event lands (workload drift, design revision, …) the
+//! deployment runtime freezes the built prefix and derives a *residual*
+//! instance for the unbuilt suffix
+//! ([`ProblemInstance::residual`](idd_core::ProblemInstance::residual)).
+//! This module answers the follow-up question: *given that residual instance
+//! and the order we were about to execute, what should the new suffix order
+//! be?*
+//!
+//! Three strategies, in increasing effort:
+//!
+//! * [`ReplanStrategy::KeepOrder`] — no re-optimization; the current suffix
+//!   order is kept verbatim (the "static plan that ignores events" baseline
+//!   of the `table9` experiment).
+//! * [`ReplanStrategy::Greedy`] — one pass of the interaction-guided greedy
+//!   over the residual instance; instant, and already workload-aware.
+//! * [`ReplanStrategy::Portfolio`] — the cooperative portfolio (greedy,
+//!   tabu, LNS, VNS, CP+) raced over the residual instance, *warm-started
+//!   from the current suffix order*: the incumbent order is published to the
+//!   [`SharedIncumbent`](crate::solver::SharedIncumbent) before the race and
+//!   handed to the CP member as its initial incumbent
+//!   ([`CpConfig::initial`]), so every improvement is an improvement over
+//!   the plan actually in flight.
+//!
+//! Whatever the strategy, the returned order is never worse than the warm
+//! start: replanning can only help, by construction.
+
+use crate::budget::SearchBudget;
+use crate::exact::{CpConfig, CpSolver};
+use crate::greedy::GreedySolver;
+use crate::local::{
+    LnsConfig, LnsSolver, SwapStrategy, TabuConfig, TabuSolver, VnsConfig, VnsSolver,
+};
+use crate::portfolio::{PortfolioConfig, PortfolioSolver};
+use crate::result::CoopStats;
+use crate::solver::{CooperationPolicy, SolveContext, Solver};
+use idd_core::{Deployment, ObjectiveEvaluator, ProblemInstance};
+
+/// How to re-optimize a residual instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanStrategy {
+    /// Keep the current suffix order (the event-ignoring baseline).
+    KeepOrder,
+    /// One interaction-guided greedy pass over the residual instance.
+    Greedy,
+    /// The cooperative portfolio, warm-started from the current order.
+    Portfolio {
+        /// Cooperation policy for the race ([`CooperationPolicy::Off`]
+        /// keeps every member deterministic under node budgets).
+        cooperation: CooperationPolicy,
+        /// Cancel the race on the first optimality proof. Leave `false`
+        /// when bit-for-bit reproducibility matters: cancellation timing is
+        /// scheduler-dependent.
+        cancel_on_optimal: bool,
+    },
+}
+
+impl ReplanStrategy {
+    /// Short label used by reports ("static", "greedy", "portfolio").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplanStrategy::KeepOrder => "static",
+            ReplanStrategy::Greedy => "greedy",
+            ReplanStrategy::Portfolio { .. } => "portfolio",
+        }
+    }
+}
+
+/// A replanner: strategy + per-replan budget.
+#[derive(Debug, Clone)]
+pub struct Replanner {
+    /// The strategy to apply at every replan point.
+    pub strategy: ReplanStrategy,
+    /// Budget for each replan (node budgets keep runs machine-independent).
+    pub budget: SearchBudget,
+}
+
+/// The outcome of one replan over a residual instance.
+#[derive(Debug, Clone)]
+pub struct ReplanOutcome {
+    /// The chosen suffix order, in *residual* ids.
+    pub deployment: Deployment,
+    /// Its objective area on the residual instance.
+    pub objective: f64,
+    /// The objective of the warm-start order, if one was usable.
+    pub warm_start_objective: Option<f64>,
+    /// Which solver produced the chosen order ("warm-start" when nothing
+    /// beat the incumbent plan).
+    pub solver: String,
+    /// `true` when the chosen order strictly improves on the warm start.
+    pub improved: bool,
+    /// Merged cooperation counters of the portfolio race (zeros otherwise).
+    pub coop: CoopStats,
+    /// Wall-clock seconds spent replanning.
+    pub elapsed_seconds: f64,
+}
+
+impl Replanner {
+    /// Creates a replanner.
+    pub fn new(strategy: ReplanStrategy, budget: SearchBudget) -> Self {
+        Self { strategy, budget }
+    }
+
+    /// Re-optimizes `residual`, warm-starting from `warm_start` (the
+    /// current suffix order projected into residual ids) when it is a valid
+    /// order for the residual instance.
+    ///
+    /// Candidates are compared deterministically: the warm start first, then
+    /// each solver output in roster order, keeping the first strict
+    /// improvement on ties — so a node-budgeted, cooperation-off replan is
+    /// bit-for-bit reproducible.
+    pub fn replan(
+        &self,
+        residual: &ProblemInstance,
+        warm_start: Option<&Deployment>,
+    ) -> ReplanOutcome {
+        let started = std::time::Instant::now();
+        let evaluator = ObjectiveEvaluator::new(residual);
+        let warm = warm_start
+            .filter(|d| d.is_valid_for(residual))
+            .map(|d| (d.clone(), evaluator.evaluate_area(d)));
+        let warm_objective = warm.as_ref().map(|(_, a)| *a);
+
+        let mut best = warm
+            .clone()
+            .map(|(d, a)| (d, a, "warm-start".to_string()))
+            .unwrap_or_else(|| {
+                // No usable warm start (fresh instance, stale projection):
+                // greedy provides the incumbent every strategy measures
+                // against.
+                let d = GreedySolver::new().construct(residual);
+                let a = evaluator.evaluate_area(&d);
+                (d, a, "greedy".to_string())
+            });
+
+        let mut coop = CoopStats::default();
+        match self.strategy {
+            ReplanStrategy::KeepOrder => {}
+            ReplanStrategy::Greedy => {
+                let d = GreedySolver::new().construct(residual);
+                let a = evaluator.evaluate_area(&d);
+                if a < best.1 - 1e-12 {
+                    best = (d, a, "greedy".to_string());
+                }
+            }
+            ReplanStrategy::Portfolio {
+                cooperation,
+                cancel_on_optimal,
+            } => {
+                let portfolio = PortfolioSolver::with_members(
+                    self.budget,
+                    replan_roster(self.budget, warm.as_ref().map(|(d, _)| d.clone())),
+                )
+                .with_config(PortfolioConfig {
+                    budget: self.budget,
+                    cancel_on_optimal,
+                    cooperation,
+                });
+                // Publish the in-flight order so warm-start members adopt it
+                // and every observer sees "never worse than the plan we
+                // already had".
+                let ctx = SolveContext::new();
+                if let Some((d, a)) = &warm {
+                    ctx.publish_deployment(*a, d.order());
+                }
+                let outcome = portfolio.solve_detailed_in(residual, &ctx);
+                coop = outcome.combined.coop;
+                for member in &outcome.members {
+                    if let Some(d) = &member.deployment {
+                        if member.objective < best.1 - 1e-12 {
+                            best = (d.clone(), member.objective, member.solver.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        let improved = warm_objective.is_some_and(|w| best.1 < w - 1e-12);
+        ReplanOutcome {
+            deployment: best.0,
+            objective: best.1,
+            warm_start_objective: warm_objective,
+            solver: best.2,
+            improved,
+            coop,
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The replan roster: greedy (instant), best-swap tabu, LNS, VNS, CP+ with
+/// the in-flight order as its initial incumbent. Fixed seeds — a replan at
+/// the same residual instance is reproducible.
+fn replan_roster(budget: SearchBudget, warm_start: Option<Deployment>) -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(GreedySolver::new()),
+        Box::new(TabuSolver::with_config(TabuConfig {
+            strategy: SwapStrategy::Best,
+            budget,
+            ..TabuConfig::default()
+        })),
+        Box::new(LnsSolver::with_config(LnsConfig {
+            budget,
+            ..LnsConfig::default()
+        })),
+        Box::new(VnsSolver::with_config(VnsConfig {
+            budget,
+            ..VnsConfig::default()
+        })),
+        Box::new(CpSolver::with_config(CpConfig {
+            budget,
+            initial: warm_start,
+            ..CpConfig::with_properties(budget)
+        })),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idd_core::IndexId;
+
+    fn residual_like(n: usize) -> ProblemInstance {
+        let mut b = ProblemInstance::builder("replan");
+        let idx: Vec<IndexId> = (0..n).map(|k| b.add_index(2.0 + (k % 4) as f64)).collect();
+        for q in 0..n {
+            let qid = b.add_query(40.0 + (q % 5) as f64 * 20.0);
+            b.add_plan(qid, vec![idx[q % n]], 7.0);
+            b.add_plan(qid, vec![idx[q % n], idx[(q + 2) % n]], 19.0);
+        }
+        b.add_build_interaction(idx[0], idx[1], 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn keep_order_returns_the_warm_start_verbatim() {
+        let inst = residual_like(6);
+        let warm = Deployment::from_raw([5, 4, 3, 2, 1, 0]);
+        let replanner = Replanner::new(ReplanStrategy::KeepOrder, SearchBudget::nodes(10));
+        let outcome = replanner.replan(&inst, Some(&warm));
+        assert_eq!(outcome.deployment, warm);
+        assert_eq!(outcome.solver, "warm-start");
+        assert!(!outcome.improved);
+        assert_eq!(outcome.warm_start_objective, Some(outcome.objective));
+    }
+
+    #[test]
+    fn missing_warm_start_falls_back_to_greedy() {
+        let inst = residual_like(5);
+        let replanner = Replanner::new(ReplanStrategy::KeepOrder, SearchBudget::nodes(10));
+        let outcome = replanner.replan(&inst, None);
+        assert_eq!(outcome.solver, "greedy");
+        assert!(outcome.deployment.is_valid_for(&inst));
+        assert!(outcome.warm_start_objective.is_none());
+        // A stale warm start (wrong length) is treated as missing.
+        let stale = Deployment::from_raw([0, 1]);
+        let outcome2 = replanner.replan(&inst, Some(&stale));
+        assert_eq!(outcome2.solver, "greedy");
+    }
+
+    #[test]
+    fn replanning_never_worsens_the_warm_start() {
+        let inst = residual_like(7);
+        let evaluator = ObjectiveEvaluator::new(&inst);
+        let warm = Deployment::identity(7);
+        let warm_area = evaluator.evaluate_area(&warm);
+        for strategy in [
+            ReplanStrategy::KeepOrder,
+            ReplanStrategy::Greedy,
+            ReplanStrategy::Portfolio {
+                cooperation: CooperationPolicy::Off,
+                cancel_on_optimal: false,
+            },
+        ] {
+            let outcome =
+                Replanner::new(strategy, SearchBudget::nodes(60)).replan(&inst, Some(&warm));
+            assert!(
+                outcome.objective <= warm_area + 1e-12,
+                "{}: {} > {warm_area}",
+                strategy.label(),
+                outcome.objective
+            );
+            assert!(outcome.deployment.is_valid_for(&inst));
+            assert_eq!(
+                evaluator.evaluate_area(&outcome.deployment),
+                outcome.objective
+            );
+            assert_eq!(outcome.improved, outcome.objective < warm_area - 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_portfolio_replan_is_reproducible() {
+        let inst = residual_like(6);
+        let warm = Deployment::identity(6);
+        let run = || {
+            Replanner::new(
+                ReplanStrategy::Portfolio {
+                    cooperation: CooperationPolicy::Off,
+                    cancel_on_optimal: false,
+                },
+                SearchBudget::nodes(50),
+            )
+            .replan(&inst, Some(&warm))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.deployment, b.deployment);
+        assert_eq!(a.solver, b.solver);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(ReplanStrategy::KeepOrder.label(), "static");
+        assert_eq!(ReplanStrategy::Greedy.label(), "greedy");
+        assert_eq!(
+            ReplanStrategy::Portfolio {
+                cooperation: CooperationPolicy::WarmStart,
+                cancel_on_optimal: true
+            }
+            .label(),
+            "portfolio"
+        );
+    }
+}

@@ -98,26 +98,26 @@ fn local_roster(seed: u64, members: usize) -> Vec<Box<dyn Solver>> {
     let mut roster: Vec<Box<dyn Solver>> = vec![
         Box::new(LnsSolver::with_config(LnsConfig {
             seed: seed ^ 0xA1,
-            stall_iterations: 3,
+            stall_iterations: Some(3),
             failure_limit: 60,
             ..LnsConfig::default()
         })),
         Box::new(VnsSolver::with_config(VnsConfig {
             seed: seed ^ 0xB2,
-            stall_iterations: 3,
+            stall_iterations: Some(3),
             initial_failure_limit: 60,
             ..VnsConfig::default()
         })),
         Box::new(TabuSolver::with_config(TabuConfig {
             strategy: SwapStrategy::First,
             seed: seed ^ 0xC3,
-            stall_iterations: 3,
+            stall_iterations: Some(3),
             ..TabuConfig::default()
         })),
         Box::new(TabuSolver::with_config(TabuConfig {
             strategy: SwapStrategy::Best,
             seed: seed ^ 0xD4,
-            stall_iterations: 3,
+            stall_iterations: Some(3),
             ..TabuConfig::default()
         })),
     ];
@@ -308,7 +308,7 @@ fn all_three_local_searches_restart_from_the_shared_best_on_stall() {
                 LnsSolver::with_config(LnsConfig {
                     budget: SearchBudget::nodes(10),
                     failure_limit: 0,
-                    stall_iterations: 2,
+                    stall_iterations: Some(2),
                     seed: 5,
                     ..LnsConfig::default()
                 })
@@ -321,7 +321,7 @@ fn all_three_local_searches_restart_from_the_shared_best_on_stall() {
                 VnsSolver::with_config(VnsConfig {
                     budget: SearchBudget::nodes(10),
                     initial_failure_limit: 0,
-                    stall_iterations: 2,
+                    stall_iterations: Some(2),
                     seed: 5,
                     ..VnsConfig::default()
                 })
@@ -334,7 +334,7 @@ fn all_three_local_searches_restart_from_the_shared_best_on_stall() {
                 TabuSolver::with_config(TabuConfig {
                     strategy: SwapStrategy::Best,
                     budget: SearchBudget::nodes(10),
-                    stall_iterations: 2,
+                    stall_iterations: Some(2),
                     seed: 5,
                     ..TabuConfig::default()
                 })
@@ -388,7 +388,7 @@ fn all_three_local_searches_restart_from_the_shared_best_on_stall() {
     let tabu = TabuSolver::with_config(TabuConfig {
         strategy: SwapStrategy::Best,
         budget: SearchBudget::nodes(12),
-        stall_iterations: 1,
+        stall_iterations: Some(1),
         tabu_length: 50,
         seed: 5,
     })
@@ -418,7 +418,7 @@ fn lns_steals_hints_and_sanitizes_them() {
 
     let result = LnsSolver::with_config(LnsConfig {
         budget: SearchBudget::nodes(30),
-        stall_iterations: 1000, // isolate the steal path from warm-starts
+        stall_iterations: Some(1000), // isolate the steal path from warm-starts
         seed: 9,
         ..LnsConfig::default()
     })
@@ -452,6 +452,101 @@ fn lns_steals_hints_and_sanitizes_them() {
     .solve_in(&inst, Deployment::identity(8), &off);
     assert_eq!(untouched.coop.hints_stolen, 0);
     assert_eq!(off.hints().len(), 1);
+}
+
+/// ROADMAP cooperation follow-up (c): a CP member starting (or restarting)
+/// inside a warm-start portfolio adopts the shared best *deployment* as its
+/// initial incumbent — `CpConfig::initial` wired to the [`SharedIncumbent`]
+/// — and stays completely blind to it under [`CooperationPolicy::Off`].
+#[test]
+fn cp_warm_starts_from_the_shared_incumbent() {
+    let inst = instance(2);
+    let exact =
+        CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited())).solve(&inst);
+    assert!(exact.is_optimal());
+    let optimum = exact.objective;
+    let optimal_order = exact.deployment.as_ref().unwrap().order().to_vec();
+
+    // A budget far too small to find anything on its own.
+    let starved = CpConfig::with_properties(SearchBudget::nodes(2));
+
+    // Warm-start policy: the foreign incumbent becomes CP's answer.
+    let ctx = SolveContext::with_cooperation(CooperationPolicy::WarmStart);
+    ctx.publish_deployment(optimum, &optimal_order);
+    let adopted = CpSolver::with_config(starved.clone()).solve_in(&inst, &ctx);
+    assert!(
+        adopted.is_feasible(),
+        "starved CP must adopt the shared best"
+    );
+    assert!((adopted.objective - optimum).abs() < 1e-9);
+    assert_eq!(
+        adopted.deployment.as_ref().unwrap().order(),
+        &optimal_order[..]
+    );
+
+    // Off policy: the shared cell is invisible; the same starved run finds
+    // nothing.
+    let off = SolveContext::new();
+    off.publish_deployment(optimum, &optimal_order);
+    let blind = CpSolver::with_config(starved).solve_in(&inst, &off);
+    assert!(
+        !blind.is_feasible(),
+        "under Off the starved CP must not see the shared deployment"
+    );
+
+    // An explicit `CpConfig::initial` and a better shared incumbent compose:
+    // the better of the two wins.
+    let worse = Deployment::identity(8);
+    let ctx2 = SolveContext::with_cooperation(CooperationPolicy::WarmStart);
+    ctx2.publish_deployment(optimum, &optimal_order);
+    let mut config = CpConfig::with_properties(SearchBudget::nodes(2));
+    config.initial = Some(worse);
+    let both = CpSolver::with_config(config).solve_in(&inst, &ctx2);
+    assert!((both.objective - optimum).abs() < 1e-9);
+}
+
+/// The derived stall threshold is a budget slice but an explicit override
+/// still wins: two otherwise-identical LNS runs with different budgets get
+/// different derived thresholds, observable through their restart counts.
+#[test]
+fn stall_threshold_defaults_derive_from_the_budget() {
+    let inst = instance(4);
+    // Pre-publish an unbeatable foreign incumbent so every stall adopts...
+    // except nothing is strictly better after the first adoption, so each
+    // stall-window boundary counts exactly one restart.
+    let exact =
+        CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited())).solve(&inst);
+    let run = |budget: SearchBudget, stall: Option<u64>| {
+        let ctx = SolveContext::with_cooperation(CooperationPolicy::WarmStart);
+        ctx.publish_deployment(exact.objective, exact.deployment.as_ref().unwrap().order());
+        LnsSolver::with_config(LnsConfig {
+            budget,
+            failure_limit: 0, // never improves on its own: stalls constantly
+            stall_iterations: stall,
+            seed: 13,
+            ..LnsConfig::default()
+        })
+        .solve_in(&inst, Deployment::identity(8), &ctx)
+    };
+
+    // nodes(64) derives a threshold of 8, nodes(32) derives 4 — both runs
+    // therefore stall several times within their budget; an explicit
+    // `Some(1)` stalls every non-improving iteration, far more often than
+    // either derived default on the same budget.
+    let derived_64 = run(SearchBudget::nodes(64), None);
+    let derived_32 = run(SearchBudget::nodes(32), None);
+    let explicit = run(SearchBudget::nodes(32), Some(1));
+    assert!(derived_64.coop.restarts > 0, "{:?}", derived_64.coop);
+    assert!(derived_32.coop.restarts > 0, "{:?}", derived_32.coop);
+    assert!(
+        explicit.coop.restarts > derived_32.coop.restarts * 2,
+        "explicit override must dominate the derived slice: {:?} vs {:?}",
+        explicit.coop,
+        derived_32.coop
+    );
+    // Both runs adopted the pre-published optimum on their first stall.
+    assert!(derived_64.coop.adoptions >= 1);
+    assert!((derived_64.objective - exact.objective).abs() < 1e-9);
 }
 
 proptest! {

@@ -22,6 +22,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod calibration;
+pub mod evolution;
 pub mod synthetic;
 pub mod tpcds;
 pub mod tpch;
@@ -29,6 +30,9 @@ pub mod tpch;
 pub mod prelude;
 
 pub use calibration::{CalibrationReport, PaperTargets};
+pub use evolution::{
+    drift_scenario, failure_scenario, mixed_scenario, revision_scenario, EvolutionConfig,
+};
 pub use synthetic::{SyntheticConfig, SyntheticGenerator};
 
 use idd_core::ProblemInstance;
