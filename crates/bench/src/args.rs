@@ -66,6 +66,23 @@ impl HarnessArgs {
     }
 }
 
+/// Returns the value following `flag` in the process arguments, if the flag
+/// is present. A flag given without a value aborts with exit code 2 — a
+/// requested output (e.g. `--json <path>`) must never be silently dropped.
+/// Shared by the table binaries so flag handling cannot drift between them.
+pub fn parse_flag_value(bin: &str, flag: &str) -> Option<String> {
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == flag {
+            return Some(raw.next().unwrap_or_else(|| {
+                eprintln!("{bin}: missing value after {flag}");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,7 +21,7 @@
 //!   optimality-cancellation disabled, so the full output is reproducible
 //!   bit-for-bit — that mode is diffed by the golden regression test.
 
-use idd_bench::{BenchJson, BenchRecord, HarnessArgs, Table};
+use idd_bench::{parse_flag_value, BenchJson, BenchRecord, HarnessArgs, Table};
 use idd_core::reduce::{reduce, Density, ReduceOptions};
 use idd_solver::exact::{CpConfig, CpSolver};
 use idd_solver::local::{LnsConfig, TabuConfig, VnsConfig};
@@ -54,31 +54,17 @@ fn roster(budget: SearchBudget) -> Vec<Box<dyn Solver>> {
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
-    let mut cooperation = CooperationPolicy::WarmStartSteal;
-    let mut json_path: Option<String> = None;
-    let mut raw = std::env::args().skip(1);
-    while let Some(arg) = raw.next() {
-        if arg == "--json" {
-            json_path = Some(raw.next().unwrap_or_else(|| {
-                eprintln!("table8: missing value after --json");
-                std::process::exit(2);
-            }));
-        }
-        if arg == "--coop" {
-            // An invalid policy aborts: this binary exists to compare
-            // policies, so a typo must never silently run a different
-            // experiment (the shared `FromStr` keeps the vocabulary in sync
-            // with the `portfolio` example).
-            cooperation = raw
-                .next()
-                .ok_or_else(|| "missing value after --coop".to_string())
-                .and_then(|v| v.parse())
-                .unwrap_or_else(|e| {
-                    eprintln!("table8: {e}");
-                    std::process::exit(2);
-                });
-        }
-    }
+    let json_path = parse_flag_value("table8", "--json");
+    // An invalid policy aborts: this binary exists to compare policies, so
+    // a typo must never silently run a different experiment (the shared
+    // `FromStr` keeps the vocabulary in sync with the `portfolio` example).
+    let cooperation = match parse_flag_value("table8", "--coop") {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("table8: {e}");
+            std::process::exit(2);
+        }),
+        None => CooperationPolicy::WarmStartSteal,
+    };
 
     if tiny {
         // Deterministic mode for the golden test: node budgets, cooperation

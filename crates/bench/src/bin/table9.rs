@@ -20,7 +20,7 @@
 //! output), `--tiny` (hand-specified instance + scenarios, node budgets,
 //! cooperation off — bit-for-bit reproducible, diffed by the golden test).
 
-use idd_bench::{BenchJson, BenchRecord, HarnessArgs, Table};
+use idd_bench::{parse_flag_value, BenchJson, BenchRecord, HarnessArgs, Table};
 use idd_core::{Deployment, EvolutionScenario, ObjectiveEvaluator, ProblemInstance};
 use idd_deploy::{DeployConfig, DeployRuntime, DeploymentReport};
 use idd_solver::exact::{CpConfig, CpSolver};
@@ -29,19 +29,6 @@ use idd_workloads::evolution::{
     drift_scenario, failure_scenario, mixed_scenario, revision_scenario, EvolutionConfig,
 };
 use idd_workloads::synthetic::{generate, SyntheticConfig};
-
-fn parse_json_path() -> Option<String> {
-    let mut raw = std::env::args().skip(1);
-    while let Some(arg) = raw.next() {
-        if arg == "--json" {
-            return Some(raw.next().unwrap_or_else(|| {
-                eprintln!("table9: missing value after --json");
-                std::process::exit(2);
-            }));
-        }
-    }
-    None
-}
 
 /// The three policies of the experiment, with a budget for the replanners.
 fn policies(budget: SearchBudget, deterministic: bool) -> Vec<(&'static str, DeployConfig)> {
@@ -56,6 +43,7 @@ fn policies(budget: SearchBudget, deterministic: bool) -> Vec<(&'static str, Dep
             "greedy-replan",
             DeployConfig {
                 replanner: Replanner::new(ReplanStrategy::Greedy, budget),
+                ..DeployConfig::default()
             },
         ),
         ("portfolio-replan", portfolio),
@@ -188,7 +176,7 @@ fn render(offline_objective: f64, rows: &[Row], timed: bool, json_path: Option<&
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
-    let json_path = parse_json_path();
+    let json_path = parse_flag_value("table9", "--json");
     if tiny {
         run_tiny(json_path.as_deref());
         return;

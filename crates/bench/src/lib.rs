@@ -26,7 +26,7 @@ pub mod args;
 pub mod figures;
 pub mod report;
 
-pub use args::HarnessArgs;
+pub use args::{parse_flag_value, HarnessArgs};
 pub use report::{BenchJson, BenchRecord, Table};
 
 use idd_core::ProblemInstance;

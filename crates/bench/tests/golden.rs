@@ -89,3 +89,15 @@ fn table8_tiny_output_matches_golden() {
 fn table9_tiny_output_matches_golden() {
     check(env!("CARGO_BIN_EXE_table9"), "table9_tiny.txt");
 }
+
+/// `table10 --tiny` pins the concurrent-build surface: the hand-specified
+/// instance and scenarios executed at 1 / 2 / 4 build slots under greedy
+/// replanning with node budgets, so every realized cost, makespan and
+/// frozen-in-flight count is machine-independent. The output also prints
+/// the serial-equivalence invariant (quiet × 1-slot realized == offline
+/// optimum, bit-for-bit), so a drift in either the concurrent scheduler or
+/// the evaluator fails here.
+#[test]
+fn table10_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_table10"), "table10_tiny.txt");
+}

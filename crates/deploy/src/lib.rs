@@ -3,29 +3,45 @@
 //! The solvers in `idd-solver` optimize one static instance offline and
 //! stop. This crate is the *online* half the paper's title promises: a
 //! deterministic discrete-event runtime that **executes** a deployment order
-//! build-by-build against a simulated query stream and reacts to the world
-//! changing underneath it.
+//! against a simulated query stream — on one or several concurrent build
+//! slots — and reacts to the world changing underneath it.
 //!
-//! * [`DeployRuntime`] — the executor. Builds are atomic; at every build
-//!   boundary the runtime lands due [`EvolutionScenario`](idd_core::EvolutionScenario)
-//!   events (workload drift, design revisions, build failures are handled
-//!   in-line), freezes the built prefix, derives a residual instance for
-//!   the unbuilt suffix ([`idd_core::residual`]), re-optimizes it with the
-//!   configured [`Replanner`](idd_solver::replan::Replanner) — warm-started
-//!   from the order in flight — and splices the result back.
-//! * [`DeploymentReport`] — the realized timeline: executed builds, replan
-//!   records (each carrying its frozen-prefix snapshot), realized
+//! * [`DeployRuntime`] — the executor. Builds are dispatched strictly in
+//!   plan order into `build_slots` slots and the event loop advances a
+//!   priority queue over build-*completion* times; at every completion
+//!   boundary the runtime lands due
+//!   [`EvolutionScenario`](idd_core::EvolutionScenario) events (workload
+//!   drift, design revisions; build failures are handled in-line), freezes
+//!   the built prefix **and the in-flight set**, derives a residual
+//!   instance for the unbuilt suffix
+//!   ([`idd_core::ProblemInstance::residual_for_replan`]), re-optimizes it
+//!   with the configured [`Replanner`](idd_solver::replan::Replanner) —
+//!   warm-started from the pending order — and splices the result back
+//!   behind the frozen commitment.
+//! * [`DeployConfig`] — the policy surface: replan strategy and budget,
+//!   `build_slots` (default 1 = the serial model of the paper),
+//!   [`ReplanTrigger`] (`OnFailure` also replans when a build reports
+//!   failed attempts) and a replan `debounce` window that batches event
+//!   bursts into a single replan.
+//! * [`DeploymentReport`] — the realized timeline: executed builds (with
+//!   slot assignment and `start`/`finish` stamps), replan records (each
+//!   carrying its frozen-commitment and in-flight snapshots), realized
 //!   cumulative cost, wasted clock, retry counts.
 //!
 //! Invariants, encoded in the runtime and locked down by this crate's
-//! proptests:
+//! proptests (`replan_props` and the `serial_equivalence` differential
+//! suite):
 //!
-//! 1. the built prefix is never reordered or rebuilt;
+//! 1. committed work — the built prefix *and* every in-flight build — is
+//!    never reordered, rebuilt, or cancelled;
 //! 2. every spliced order satisfies the (possibly revised) precedence
-//!    closure — validated before execution continues;
-//! 3. with a quiet scenario the realized cost equals the offline objective
-//!    **bit-for-bit** (the runtime steps the offline evaluator's own
-//!    arithmetic).
+//!    closure — validated before execution continues — and no build is
+//!    dispatched before its precedence prerequisites have *completed*;
+//! 3. with `build_slots = 1` (the default) the unified scheduler reproduces
+//!    [`DeployRuntime::execute_serial_reference`] — the serial executor as
+//!    shipped before concurrent slots existed — **bit-for-bit**, and with a
+//!    quiet scenario the realized cost equals the offline objective exactly
+//!    (the runtime steps the offline evaluator's own arithmetic).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,12 +50,12 @@ pub mod report;
 pub mod runtime;
 
 pub use report::{DeploymentReport, ExecutedBuild, ReplanRecord};
-pub use runtime::{DeployConfig, DeployError, DeployRuntime};
+pub use runtime::{DeployConfig, DeployError, DeployRuntime, ReplanTrigger};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
-    pub use crate::runtime::{DeployConfig, DeployError, DeployRuntime};
+    pub use crate::runtime::{DeployConfig, DeployError, DeployRuntime, ReplanTrigger};
     pub use idd_core::{EventKind, EvolutionEvent, EvolutionScenario};
     pub use idd_solver::replan::{ReplanStrategy, Replanner};
 }

@@ -5,39 +5,60 @@ use idd_core::{Deployment, IndexId};
 use serde::{Deserialize, Serialize};
 
 /// One build the runtime actually executed (including failed attempts).
+///
+/// With one build slot, builds occupy `[start, finish]` back to back and
+/// `finish − start == wasted + cost` exactly. With `build_slots > 1`,
+/// intervals overlap: `start` is when the build was dispatched into its
+/// slot, `finish` when it became available, and builds may finish out of
+/// dispatch order. The `builds` vector is always in *dispatch* order — the
+/// order the plan committed work — so `position` doubles as the dispatch
+/// sequence number.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutedBuild {
-    /// Position in the realized order (0-based).
+    /// Position in the realized (dispatch) order, 0-based.
     pub position: usize,
     /// The index built.
     pub index: IndexId,
+    /// Build slot this build occupied (always 0 with one slot).
+    pub slot: usize,
     /// Deployment clock when work on this index started (first attempt).
     pub start: f64,
-    /// Deployment clock when the index became available.
+    /// Deployment clock when the index became available
+    /// (`start + wasted + cost`).
     pub finish: f64,
-    /// Effective build cost of the successful attempt.
+    /// Effective build cost of the successful attempt, priced against the
+    /// indexes *completed* at `start` — an in-flight helper discounts
+    /// nothing.
     pub cost: f64,
     /// Clock time lost to failed attempts before the successful one.
     pub wasted: f64,
     /// Number of failed attempts.
     pub retries: u32,
-    /// Workload runtime while this index was building.
+    /// Workload runtime when this build was dispatched.
     pub runtime_before: f64,
-    /// Workload runtime once this index became available.
+    /// Workload runtime once this index became available (with overlapping
+    /// builds, this includes drops from builds that completed earlier).
     pub runtime_after: f64,
 }
 
-/// One replan the runtime performed at an event boundary.
+/// One replan the runtime performed at a completion boundary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplanRecord {
     /// Deployment clock at which the replan happened.
     pub clock: f64,
-    /// What triggered it ("drift", "revision", "drift+revision").
+    /// What triggered it ("drift", "revision", "failure", or a `+`-joined
+    /// combination when several triggers batched into one replan).
     pub trigger: String,
-    /// The frozen prefix at that moment — the builds already executed, in
-    /// order. The runtime's prefix-immutability invariant is checked against
-    /// exactly this snapshot: the final realized order must extend it.
+    /// The frozen commitment at that moment — every build already
+    /// dispatched (completed *or* in flight), in dispatch order. The
+    /// runtime's immutability invariant is checked against exactly this
+    /// snapshot: the final realized order must extend it, so neither the
+    /// built prefix nor the in-flight set can ever be reordered or rebuilt.
     pub frozen_prefix: Vec<IndexId>,
+    /// The subset of `frozen_prefix` that was still in flight (dispatched
+    /// but not yet completed), in dispatch order. Empty with one build slot:
+    /// serial replans only fire at build boundaries.
+    pub in_flight: Vec<IndexId>,
     /// Number of indexes in the replanned suffix.
     pub suffix_len: usize,
     /// Residual objective of the order that was in flight, if it was still
@@ -55,33 +76,41 @@ pub struct ReplanRecord {
 /// The complete report of one deployment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeploymentReport {
-    /// Every executed build, in realized order.
+    /// Every executed build, in dispatch order (equal to completion order
+    /// with one build slot).
     pub builds: Vec<ExecutedBuild>,
     /// Every replan, in clock order.
     pub replans: Vec<ReplanRecord>,
-    /// Realized cumulative cost: `Σ runtime_during · build_time` over every
-    /// attempt (successful and failed). With zero events and zero failures
-    /// this equals the offline objective area bit-for-bit.
+    /// Realized cumulative cost: the workload runtime integrated over the
+    /// deployment wall-clock, failed attempts included. With one build slot
+    /// this is `Σ runtime_during · build_time` over every attempt, and with
+    /// zero events and zero failures it equals the offline objective area
+    /// bit-for-bit. With `k` slots the integral runs over the (shorter)
+    /// overlapped timeline.
     pub realized_cost: f64,
     /// Workload runtime after the last build.
     pub final_runtime: f64,
-    /// Deployment clock at the end of the run.
+    /// Deployment clock at the end of the run (the makespan, plus any tail
+    /// events that landed after the last completion).
     pub total_clock: f64,
-    /// Clock spent in successful builds.
+    /// Clock spent in successful builds (slot-seconds: overlapping builds
+    /// both count, so this can exceed `total_clock` when `build_slots > 1`).
     pub total_build_time: f64,
-    /// Clock lost to failed attempts.
+    /// Clock lost to failed attempts (slot-seconds, like
+    /// `total_build_time`).
     pub total_wasted: f64,
     /// Total failed attempts.
     pub retries: u32,
     /// Timed events applied during the run.
     pub events_applied: usize,
-    /// Drop requests that were ignored (index already built, or dropping it
-    /// would orphan a scheduled index behind a precedence).
+    /// Drop requests that were ignored (index already built or in flight,
+    /// or dropping it would orphan a scheduled index behind a precedence).
     pub ineffective_drops: usize,
 }
 
 impl DeploymentReport {
-    /// The realized deployment order (what was actually built, in order).
+    /// The realized deployment order (what was actually built, in dispatch
+    /// order).
     pub fn realized_order(&self) -> Deployment {
         Deployment::new(self.builds.iter().map(|b| b.index).collect())
     }
@@ -92,12 +121,37 @@ impl DeploymentReport {
     }
 
     /// `true` when the final realized order extends every replan's frozen
-    /// prefix — the observable form of the prefix-immutability invariant.
+    /// commitment (built prefix plus in-flight set) — the observable form of
+    /// the immutability invariant.
     pub fn prefixes_respected(&self) -> bool {
         let order = self.realized_order();
         self.replans
             .iter()
             .all(|r| order.starts_with(&r.frozen_prefix))
+    }
+
+    /// `true` when every replan's in-flight set is an order-preserving
+    /// subsequence of its frozen commitment — an in-flight build the replan
+    /// claims to have frozen really was committed, in dispatch order.
+    ///
+    /// This is a structural check only: it does not verify against the
+    /// build timeline that each listed index was genuinely mid-build at the
+    /// replan's clock. That timing cross-check (replan clock within the
+    /// build's `[start, finish)` span) lives in the `serial_equivalence`
+    /// differential suite, which has the builds to compare against.
+    pub fn in_flight_respected(&self) -> bool {
+        self.replans.iter().all(|r| {
+            let mut tail = r.frozen_prefix.iter();
+            r.in_flight
+                .iter()
+                .all(|f| tail.any(|committed| committed == f))
+        })
+    }
+
+    /// Highest slot id any build occupied, plus one (0 for an empty run):
+    /// the realized concurrency ceiling.
+    pub fn slots_used(&self) -> usize {
+        self.builds.iter().map(|b| b.slot + 1).max().unwrap_or(0)
     }
 }
 
@@ -109,6 +163,7 @@ mod tests {
         ExecutedBuild {
             position,
             index: IndexId::new(index),
+            slot: 0,
             start: position as f64,
             finish: position as f64 + 1.0,
             cost: 1.0,
@@ -126,8 +181,9 @@ mod tests {
             replans: vec![ReplanRecord {
                 clock: 1.0,
                 trigger: "drift".into(),
-                frozen_prefix: vec![IndexId::new(2)],
-                suffix_len: 2,
+                frozen_prefix: vec![IndexId::new(2), IndexId::new(0)],
+                in_flight: vec![IndexId::new(0)],
+                suffix_len: 1,
                 warm_start_objective: Some(30.0),
                 objective: 25.0,
                 solver: "vns".into(),
@@ -147,11 +203,23 @@ mod tests {
             &[2, 0, 1].map(IndexId::new)
         );
         assert!(report.prefixes_respected());
+        assert!(report.in_flight_respected());
         assert_eq!(report.improved_replans(), 1);
+        assert_eq!(report.slots_used(), 1);
 
         let mut broken = report.clone();
         broken.replans[0].frozen_prefix = vec![IndexId::new(0)];
         assert!(!broken.prefixes_respected());
+
+        // An in-flight index missing from the frozen commitment is a bug.
+        let mut leaked = report.clone();
+        leaked.replans[0].in_flight = vec![IndexId::new(1)];
+        assert!(!leaked.in_flight_respected());
+
+        // So is an in-flight pair recorded in the wrong relative order.
+        let mut reordered = report;
+        reordered.replans[0].in_flight = vec![IndexId::new(0), IndexId::new(2)];
+        assert!(!reordered.in_flight_respected());
     }
 
     #[test]

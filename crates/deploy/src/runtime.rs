@@ -1,25 +1,49 @@
 //! The deterministic discrete-event deployment runtime.
 //!
-//! [`DeployRuntime::execute`] runs a deployment order build-by-build against
-//! a simulated query stream, applying the [`EvolutionScenario`]'s events at
-//! build boundaries (an in-flight build is atomic) and — under a replanning
-//! policy — re-optimizing the unbuilt suffix whenever the world changes:
+//! [`DeployRuntime::execute`] runs a deployment order against a simulated
+//! query stream on `k = build_slots` concurrent build slots. Builds are
+//! dispatched strictly in plan order into free slots; a slot holds its build
+//! (failed attempts included) until the index becomes available, and the
+//! event loop advances a priority queue over build-*completion* times.
+//! Evolution events land at completion boundaries (an in-flight attempt is
+//! atomic), and — under a replanning policy — the runtime re-optimizes the
+//! unbuilt suffix whenever the world changes:
 //!
-//! 1. the built prefix is **frozen** (never reordered, never rebuilt);
+//! 1. the built prefix **and the in-flight set** are frozen (never
+//!    reordered, never rebuilt, never cancelled);
 //! 2. a residual instance for the unbuilt suffix is derived from the
 //!    *current* (drifted / revised) instance via
-//!    [`ProblemInstance::residual_excluding`];
+//!    [`ProblemInstance::residual_for_replan`] — in-flight completions
+//!    still discount query costs, they just cannot be reordered;
 //! 3. the configured [`Replanner`] re-optimizes it, warm-started from the
-//!    order currently in flight;
-//! 4. the new suffix is spliced back behind the frozen prefix and validated
-//!    against the (possibly revised) precedence closure before execution
-//!    continues.
+//!    order currently pending ([`Replanner::replan_around`]);
+//! 4. the new suffix is spliced back behind the frozen commitment and
+//!    validated against the (possibly revised) precedence closure before
+//!    execution continues.
 //!
 //! Everything is deterministic: same instance, same initial plan, same
-//! scenario, same replanner ⇒ same report, and with a quiet scenario the
-//! realized cumulative cost reproduces the offline objective **bit-for-bit**
-//! (the runtime steps the same [`idd_core::ObjectiveStepper`] arithmetic the
-//! evaluator uses).
+//! scenario, same configuration ⇒ same report. Two exact invariants anchor
+//! the model, both locked down by the `serial_equivalence` differential
+//! suite:
+//!
+//! * with `build_slots = 1` (the default) the unified scheduler reproduces
+//!   the serial runtime — [`DeployRuntime::execute_serial_reference`], the
+//!   executor as shipped before concurrent slots existed — **bit-for-bit**,
+//!   report field by report field;
+//! * with a quiet scenario and one slot the realized cumulative cost equals
+//!   the offline objective exactly (the runtime drives the same
+//!   [`idd_core::ObjectiveStepper`] arithmetic the evaluator uses).
+//!
+//! # Cost model with overlapping builds
+//!
+//! The realized cumulative cost generalizes from `Σ runtime · build_time`
+//! to the workload runtime *integrated over the deployment wall-clock*:
+//! while any build is running, every unit of wall-clock costs the current
+//! runtime level, which drops only when builds **complete**. A build is
+//! priced against the indexes completed when it starts — dispatching an
+//! index before its build-interaction helper completes forfeits the
+//! discount, which is exactly the trade-off `table10` measures against the
+//! shorter makespan.
 
 use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
 use idd_core::{
@@ -28,6 +52,8 @@ use idd_core::{
 };
 use idd_solver::replan::{ReplanStrategy, Replanner};
 use idd_solver::SearchBudget;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Errors a deployment run can hit.
 #[derive(Debug)]
@@ -59,20 +85,49 @@ impl From<CoreError> for DeployError {
     }
 }
 
+/// When the runtime re-optimizes the pending suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplanTrigger {
+    /// Replan when evolution events (drift / revision) land — the original
+    /// serial behavior, and the default.
+    #[default]
+    OnEvent,
+    /// Additionally replan when a build reports failed attempts: the wasted
+    /// clock delayed everything behind the failing index, so the suffix
+    /// order chosen before the failure may no longer be the right one.
+    /// The failure replan fires at the failing build's completion boundary
+    /// with trigger label `"failure"`.
+    OnFailure,
+}
+
 /// Configuration of a deployment run.
 #[derive(Debug, Clone)]
 pub struct DeployConfig {
-    /// How (and whether) to re-optimize the suffix when an event lands.
+    /// How (and whether) to re-optimize the suffix when a replan fires.
     /// [`ReplanStrategy::KeepOrder`] is the static baseline: events are
     /// *applied* (weights drift, indexes appear/disappear) but the suffix
     /// order is kept.
     pub replanner: Replanner,
+    /// Number of concurrent build slots. `1` (the default) reproduces the
+    /// serial runtime bit-for-bit; `0` is treated as `1`.
+    pub build_slots: usize,
+    /// What fires a replan. Defaults to [`ReplanTrigger::OnEvent`].
+    pub trigger: ReplanTrigger,
+    /// Replan debounce window, in deployment-clock seconds: when a replan
+    /// becomes due but another event is scheduled within `debounce` of the
+    /// current clock, the replan is deferred and the triggers batch into a
+    /// single replan once the burst is over. `0.0` (the default) replans at
+    /// every trigger boundary, exactly like the serial runtime.
+    pub debounce: f64,
 }
 
 impl Default for DeployConfig {
     fn default() -> Self {
         Self {
             replanner: Replanner::new(ReplanStrategy::KeepOrder, SearchBudget::nodes(200)),
+            build_slots: 1,
+            trigger: ReplanTrigger::OnEvent,
+            debounce: 0.0,
         }
     }
 }
@@ -88,6 +143,7 @@ impl DeployConfig {
     pub fn greedy_replan() -> Self {
         Self {
             replanner: Replanner::new(ReplanStrategy::Greedy, SearchBudget::nodes(200)),
+            ..Self::default()
         }
     }
 
@@ -105,7 +161,26 @@ impl DeployConfig {
                 },
                 budget,
             ),
+            ..Self::default()
         }
+    }
+
+    /// Sets the number of concurrent build slots.
+    pub fn with_build_slots(mut self, slots: usize) -> Self {
+        self.build_slots = slots;
+        self
+    }
+
+    /// Sets the replan trigger policy.
+    pub fn with_trigger(mut self, trigger: ReplanTrigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Sets the replan debounce window.
+    pub fn with_debounce(mut self, debounce: f64) -> Self {
+        self.debounce = debounce;
+        self
     }
 }
 
@@ -115,35 +190,109 @@ pub struct DeployRuntime {
     config: DeployConfig,
 }
 
+/// A build occupying a slot: dispatched, not yet completed.
+#[derive(Debug, Clone)]
+struct InFlight {
+    index: IndexId,
+    slot: usize,
+    /// Position of this build's record in `report.builds`.
+    build_pos: usize,
+    start: f64,
+    /// `start + (wasted + cost)`, the completion time.
+    finish: f64,
+    cost: f64,
+    waste_per_failure: f64,
+    retries: u32,
+}
+
+/// Key of the completion priority queue: earliest finish first, dispatch
+/// order breaking ties, so the event loop is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    finish: f64,
+    seq: usize,
+    index: IndexId,
+}
+
+impl Eq for Completion {}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish
+            .total_cmp(&other.finish)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Mutable run state, grouped so the helper methods can borrow it wholesale.
 struct RunState {
     instance: ProblemInstance,
-    /// Parent-id order of everything built so far (append-only).
-    built_order: Vec<IndexId>,
-    /// Parent-id bitmap of built indexes.
+    /// Parent-id dispatch order of every committed build — completed *and*
+    /// in-flight (append-only; the frozen commitment at any moment).
+    committed: Vec<IndexId>,
+    /// Parent-id completion order of finished builds (used to replay the
+    /// stepper after the instance changes).
+    completed_order: Vec<IndexId>,
+    /// Parent-id bitmap of *completed* indexes.
     built: Vec<bool>,
     /// Parent-id bitmap of retracted (dropped, unbuilt) indexes.
     excluded: Vec<bool>,
+    /// Builds currently occupying slots, in dispatch order.
+    in_flight: Vec<InFlight>,
     /// The planned unbuilt suffix, in execution order (parent ids).
     pending: Vec<IndexId>,
+    /// Replan triggers accumulated but not yet acted on (debouncing).
+    deferred_triggers: Vec<&'static str>,
     clock: f64,
     report: DeploymentReport,
 }
 
 impl RunState {
-    /// Validates the in-flight plan: `pending` must cover exactly the
-    /// unbuilt, unexcluded indexes once each, and the spliced order
-    /// `built_order ++ pending` must satisfy every applicable precedence of
-    /// the current instance.
+    fn new(instance: &ProblemInstance, initial: &Deployment) -> Self {
+        let n = instance.num_indexes();
+        RunState {
+            instance: instance.clone(),
+            committed: Vec::with_capacity(n),
+            completed_order: Vec::with_capacity(n),
+            built: vec![false; n],
+            excluded: vec![false; n],
+            in_flight: Vec::new(),
+            pending: initial.order().to_vec(),
+            deferred_triggers: Vec::new(),
+            clock: 0.0,
+            report: DeploymentReport {
+                builds: Vec::new(),
+                replans: Vec::new(),
+                realized_cost: 0.0,
+                final_runtime: 0.0,
+                total_clock: 0.0,
+                total_build_time: 0.0,
+                total_wasted: 0.0,
+                retries: 0,
+                events_applied: 0,
+                ineffective_drops: 0,
+            },
+        }
+    }
+
+    /// `true` when `raw` is committed: completed or occupying a slot.
+    fn is_committed(&self, raw: usize) -> bool {
+        self.built[raw] || self.in_flight.iter().any(|f| f.index.raw() == raw)
+    }
+
+    /// Validates the in-flight plan: `committed ++ pending` must cover
+    /// exactly the unexcluded (or already committed) indexes once each and
+    /// satisfy every applicable precedence of the current instance.
     fn validate_plan(&self) -> Result<(), DeployError> {
         let n = self.instance.num_indexes();
         let mut position = vec![usize::MAX; n];
-        for (p, &i) in self
-            .built_order
-            .iter()
-            .chain(self.pending.iter())
-            .enumerate()
-        {
+        for (p, &i) in self.committed.iter().chain(self.pending.iter()).enumerate() {
             if i.raw() >= n {
                 return Err(DeployError::InvalidPlan(format!("{i} is out of range")));
             }
@@ -154,7 +303,7 @@ impl RunState {
         }
         for (raw, &pos) in position.iter().enumerate() {
             let scheduled = pos != usize::MAX;
-            let should_be = !self.excluded[raw] || self.built[raw];
+            let should_be = !self.excluded[raw] || self.is_committed(raw);
             if scheduled != should_be {
                 return Err(DeployError::InvalidPlan(format!(
                     "index i{raw} is {} the plan but should {}be",
@@ -204,7 +353,9 @@ impl RunState {
                 // them properly; the static baseline keeps them there).
                 self.pending.extend(new_ids);
                 for &dropped in &revision.drop {
-                    if dropped.raw() >= n || self.built[dropped.raw()] {
+                    if dropped.raw() >= n || self.is_committed(dropped.raw()) {
+                        // Already built — or mid-build: a slot cannot
+                        // un-build what it is building.
                         self.report.ineffective_drops += 1;
                         continue;
                     }
@@ -213,7 +364,7 @@ impl RunState {
                     self.excluded[dropped.raw()] = true;
                     let orphans = self.instance.precedences().iter().any(|pr| {
                         pr.before == dropped
-                            && !self.built[pr.after.raw()]
+                            && !self.is_committed(pr.after.raw())
                             && !self.excluded[pr.after.raw()]
                     });
                     if orphans {
@@ -226,6 +377,16 @@ impl RunState {
                 Ok("revision")
             }
         }
+    }
+
+    /// `true` when `head` may be dispatched: every precedence prerequisite
+    /// has *completed* (an in-flight prerequisite blocks the head — the
+    /// dependency is on the built artifact, not on the commitment).
+    fn head_eligible(&self, head: IndexId) -> bool {
+        self.instance
+            .precedences()
+            .iter()
+            .all(|pr| pr.after != head || self.built[pr.before.raw()])
     }
 }
 
@@ -241,8 +402,8 @@ impl DeployRuntime {
         self.config.replanner.strategy.label()
     }
 
-    /// Executes `initial` against `scenario`. See the module docs for the
-    /// execution model and invariants.
+    /// Executes `initial` against `scenario` on `build_slots` concurrent
+    /// slots. See the module docs for the execution model and invariants.
     pub fn execute(
         &self,
         instance: &ProblemInstance,
@@ -252,27 +413,287 @@ impl DeployRuntime {
         initial
             .validate(instance)
             .map_err(DeployError::InvalidInitialPlan)?;
-        let n = instance.num_indexes();
-        let mut state = RunState {
-            instance: instance.clone(),
-            built_order: Vec::with_capacity(n),
-            built: vec![false; n],
-            excluded: vec![false; n],
-            pending: initial.order().to_vec(),
-            clock: 0.0,
-            report: DeploymentReport {
-                builds: Vec::new(),
-                replans: Vec::new(),
-                realized_cost: 0.0,
-                final_runtime: 0.0,
-                total_clock: 0.0,
-                total_build_time: 0.0,
-                total_wasted: 0.0,
-                retries: 0,
-                events_applied: 0,
-                ineffective_drops: 0,
-            },
-        };
+        let slots = self.config.build_slots.max(1);
+        let mut state = RunState::new(instance, initial);
+
+        // Earliest event last, so `pop` yields events in time order.
+        let mut queue = scenario.sorted_events();
+        queue.reverse();
+
+        // The completion priority queue and the free-slot pool (lowest slot
+        // id first, so slot assignment is deterministic).
+        let mut completions: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+        let mut free_slots: BinaryHeap<Reverse<usize>> = (0..slots).map(Reverse).collect();
+
+        loop {
+            // 1. Land every event due at this completion boundary. (Once
+            //    nothing is pending or in flight, future events land too —
+            //    they start a new tail, with no idle cost in between.)
+            while queue.last().is_some_and(|e| {
+                e.at <= state.clock || (state.pending.is_empty() && state.in_flight.is_empty())
+            }) {
+                let event = queue.pop().expect("peeked");
+                state.clock = state.clock.max(event.at);
+                let label = state.apply_event(&event)?;
+                if !state.deferred_triggers.contains(&label) {
+                    state.deferred_triggers.push(label);
+                }
+                state.report.events_applied += 1;
+            }
+
+            // 2. Act on accumulated triggers, unless another event is close
+            //    enough (within the debounce window) to batch with.
+            //    Deferring is only sound while the clock can still advance
+            //    toward that event — something in flight, or a dispatchable
+            //    head. With neither, deferring again would spin forever, so
+            //    act now and let replan validation surface whatever the
+            //    events broke (e.g. an addition behind a retracted
+            //    prerequisite).
+            if !state.deferred_triggers.is_empty() {
+                let next_within_window = queue
+                    .last()
+                    .is_some_and(|e| e.at <= state.clock + self.config.debounce);
+                let can_progress = !state.in_flight.is_empty()
+                    || (!state.pending.is_empty() && state.head_eligible(state.pending[0]));
+                if !(next_within_window && can_progress) {
+                    let trigger = state.deferred_triggers.join("+");
+                    state.deferred_triggers.clear();
+                    self.replan(&mut state, &trigger)?;
+                    state.validate_plan()?;
+                }
+            }
+
+            // 3. Nothing pending, in flight, or queued: done. The final
+            //    runtime is re-derived by replaying the completions on the
+            //    *current* instance — the same arithmetic the offline
+            //    evaluator uses.
+            if state.pending.is_empty() && state.in_flight.is_empty() && queue.is_empty() {
+                let evaluator = ObjectiveEvaluator::new(&state.instance);
+                let mut replay = evaluator.stepper();
+                for &i in &state.completed_order {
+                    replay.step(i);
+                }
+                state.report.final_runtime = replay.runtime();
+                break;
+            }
+
+            // The stepper tracks the workload runtime over the *completed*
+            // set. It is a pure function of (instance, completion order,
+            // in-flight set), so rebuilding it after every instance
+            // mutation — replaying completions and re-marking the in-flight
+            // builds — yields bit-identical state. Events and replans only
+            // happen in the outer loop, so one rebuild serves the whole
+            // dispatch/complete inner loop below (and keeps the borrow of
+            // the event-mutable instance scoped to this iteration).
+            let evaluator = ObjectiveEvaluator::new(&state.instance);
+            let mut stepper = evaluator.stepper();
+            for &i in &state.completed_order {
+                stepper.step(i);
+            }
+            for fl in &state.in_flight {
+                stepper.begin_build(fl.index);
+            }
+
+            loop {
+                // 4. Dispatch plan-order heads into free slots until the
+                //    slots are full, the plan runs out, or the head is
+                //    blocked behind an in-flight prerequisite. No event can
+                //    be due here: the outer loop drained everything at or
+                //    before this clock, and the inner loop breaks at the
+                //    completion that makes the next one due.
+                debug_assert!(!queue.last().is_some_and(|e| e.at <= state.clock));
+                while !state.pending.is_empty()
+                    && !free_slots.is_empty()
+                    && state.head_eligible(state.pending[0])
+                {
+                    let next = state.pending.remove(0);
+                    let slot = free_slots.pop().expect("checked non-empty").0;
+                    let cost = stepper.begin_build(next);
+
+                    // Failure spec: attempts waste `waste_per_failure`
+                    // clock each before the build succeeds, all inside
+                    // this slot.
+                    let mut wasted = 0.0;
+                    let mut retries = 0u32;
+                    let mut waste_per_failure = 0.0;
+                    if let Some(failure) = scenario.failure_for(next) {
+                        waste_per_failure = cost * failure.waste_fraction.clamp(0.0, 1.0);
+                        for _ in 0..failure.failures {
+                            wasted += waste_per_failure;
+                            retries += 1;
+                        }
+                    }
+
+                    let start = state.clock;
+                    let finish = start + (wasted + cost);
+                    let seq = state.committed.len();
+                    state.report.builds.push(ExecutedBuild {
+                        position: seq,
+                        index: next,
+                        slot,
+                        start,
+                        finish,
+                        cost,
+                        wasted,
+                        retries,
+                        runtime_before: stepper.runtime(),
+                        runtime_after: f64::NAN, // filled at completion
+                    });
+                    state.report.total_build_time += cost;
+                    state.report.total_wasted += wasted;
+                    state.report.retries += retries;
+                    state.in_flight.push(InFlight {
+                        index: next,
+                        slot,
+                        build_pos: state.report.builds.len() - 1,
+                        start,
+                        finish,
+                        cost,
+                        waste_per_failure,
+                        retries,
+                    });
+                    completions.push(Reverse(Completion {
+                        finish,
+                        seq,
+                        index: next,
+                    }));
+                    state.committed.push(next);
+                }
+
+                // 5. Advance: pop the earliest completion, accrue the
+                //    workload cost of the elapsed span, and land the
+                //    finished index. With nothing in flight, hand back to
+                //    the outer loop (which lands the due — or, with an
+                //    empty plan, the next future — event, or finishes).
+                let Some(Reverse(completion)) = completions.pop() else {
+                    break;
+                };
+                let pos = state
+                    .in_flight
+                    .iter()
+                    .position(|f| f.index == completion.index)
+                    .expect("completion queue tracks in-flight builds");
+                let fl = state.in_flight.remove(pos);
+
+                // Integrate runtime · wall-clock over [clock, finish]. When
+                // nothing has been accrued since this build started (always
+                // true with one slot), split the span into the serial per-
+                // attempt products so the one-slot runtime reproduces the
+                // serial arithmetic bit-for-bit; otherwise accrue the
+                // remaining span in one piece (the runtime level is
+                // constant over it — every earlier completion has already
+                // been processed).
+                if state.clock.to_bits() == fl.start.to_bits() {
+                    for _ in 0..fl.retries {
+                        state.report.realized_cost += stepper.accrue(fl.waste_per_failure);
+                    }
+                    state.report.realized_cost += stepper.accrue(fl.cost);
+                } else {
+                    state.report.realized_cost += stepper.accrue(fl.finish - state.clock);
+                }
+                state.clock = fl.finish;
+
+                let (_, runtime_after) = stepper.complete_build(fl.index);
+                state.report.builds[fl.build_pos].runtime_after = runtime_after;
+                state.built[fl.index.raw()] = true;
+                state.completed_order.push(fl.index);
+                free_slots.push(Reverse(fl.slot));
+
+                // A failure-triggered replan fires at the failing build's
+                // completion boundary (subject to the same debouncing).
+                let failure_trigger = self.config.trigger == ReplanTrigger::OnFailure
+                    && fl.retries > 0
+                    && !state.deferred_triggers.contains(&"failure");
+                if failure_trigger {
+                    state.deferred_triggers.push("failure");
+                }
+
+                // Hand back to the outer loop when this completion made an
+                // event due or raised a trigger — landing and replanning
+                // mutate the instance, which invalidates the stepper.
+                if failure_trigger || queue.last().is_some_and(|e| e.at <= state.clock) {
+                    break;
+                }
+            }
+        }
+
+        state.report.total_clock = state.clock;
+        debug_assert!(state.report.prefixes_respected());
+        debug_assert!(state.report.in_flight_respected());
+        Ok(state.report)
+    }
+
+    /// Freezes the commitment (built prefix + in-flight set), derives the
+    /// residual instance, re-optimizes it warm-started from the pending
+    /// order, and splices the result back behind the commitment.
+    fn replan(&self, state: &mut RunState, trigger: &str) -> Result<(), DeployError> {
+        if state.pending.is_empty() {
+            return Ok(());
+        }
+        let in_flight_order: Vec<IndexId> = state.in_flight.iter().map(|f| f.index).collect();
+        let residual =
+            state
+                .instance
+                .residual_for_replan(&state.built, &in_flight_order, &state.excluded)?;
+        // Mechanical plan maintenance (appends on addition, removals on
+        // drop) must keep the suffix a permutation of the residual indexes.
+        // If it ever does not, surface the bug — a silent fallback would
+        // turn the static baseline into a replanning policy.
+        let (outcome, new_pending) = self
+            .config
+            .replanner
+            .replan_around(&residual, &state.pending)
+            .ok_or_else(|| {
+                DeployError::InvalidPlan(
+                    "in-flight suffix is not a permutation of the residual indexes".into(),
+                )
+            })?;
+
+        // The spliced order must extend the frozen commitment and satisfy
+        // the (possibly revised) closure — checked here *and* by
+        // validate_plan.
+        let spliced = Deployment::splice(&state.committed, &new_pending);
+        if !spliced.starts_with(&state.committed) {
+            return Err(DeployError::InvalidPlan(
+                "replan reordered the frozen commitment".into(),
+            ));
+        }
+
+        state.report.replans.push(ReplanRecord {
+            clock: state.clock,
+            trigger: trigger.to_string(),
+            frozen_prefix: state.committed.clone(),
+            in_flight: in_flight_order,
+            suffix_len: new_pending.len(),
+            warm_start_objective: outcome.warm_start_objective,
+            objective: outcome.objective,
+            solver: outcome.solver,
+            improved: outcome.improved,
+        });
+        state.pending = new_pending;
+        Ok(())
+    }
+
+    /// The serial executor exactly as shipped before concurrent build slots
+    /// existed: one build at a time, events at build boundaries, replans on
+    /// events only, no debouncing. `build_slots`, `trigger` and `debounce`
+    /// are ignored.
+    ///
+    /// This is kept verbatim as the **reference oracle** for the
+    /// serial-equivalence differential suite: `execute` with the default
+    /// configuration must reproduce it bit-for-bit, field by field. It is
+    /// not deprecated — it is the executable specification of the one-slot
+    /// semantics.
+    pub fn execute_serial_reference(
+        &self,
+        instance: &ProblemInstance,
+        initial: &Deployment,
+        scenario: &EvolutionScenario,
+    ) -> Result<DeploymentReport, DeployError> {
+        initial
+            .validate(instance)
+            .map_err(DeployError::InvalidInitialPlan)?;
+        let mut state = RunState::new(instance, initial);
 
         // Earliest event last, so `pop` yields events in time order.
         let mut queue = scenario.sorted_events();
@@ -300,15 +721,11 @@ impl DeployRuntime {
                 state.validate_plan()?;
             }
 
-            // 2. Nothing pending and nothing queued: done. The final
-            //    runtime is re-derived by replaying the realized order on
-            //    the *current* instance — the same arithmetic the offline
-            //    evaluator uses, so the quiet-scenario run matches it
-            //    bit-for-bit.
+            // 2. Nothing pending and nothing queued: done.
             if state.pending.is_empty() && queue.is_empty() {
                 let evaluator = ObjectiveEvaluator::new(&state.instance);
                 let mut stepper = evaluator.stepper();
-                for &i in &state.built_order {
+                for &i in &state.committed {
                     stepper.step(i);
                 }
                 state.report.final_runtime = stepper.runtime();
@@ -316,12 +733,10 @@ impl DeployRuntime {
             }
 
             // 3. Execute builds until the next event is due (or the plan
-            //    runs out). The stepper replays the frozen prefix so its
-            //    arithmetic — and therefore the realized cost — matches the
-            //    offline evaluator's exactly.
+            //    runs out).
             let evaluator = ObjectiveEvaluator::new(&state.instance);
             let mut stepper = evaluator.stepper();
-            for &i in &state.built_order {
+            for &i in &state.committed {
                 stepper.step(i);
             }
             while !state.pending.is_empty() {
@@ -348,8 +763,9 @@ impl DeployRuntime {
                 state.report.realized_cost += step.runtime_before * step.build_cost;
                 state.clock += wasted + step.build_cost;
                 state.report.builds.push(ExecutedBuild {
-                    position: state.built_order.len(),
+                    position: state.committed.len(),
                     index: next,
+                    slot: 0,
                     start,
                     finish: state.clock,
                     cost: step.build_cost,
@@ -361,7 +777,8 @@ impl DeployRuntime {
                 state.report.total_build_time += step.build_cost;
                 state.report.total_wasted += wasted;
                 state.report.retries += retries;
-                state.built_order.push(next);
+                state.committed.push(next);
+                state.completed_order.push(next);
                 state.built[next.raw()] = true;
             }
         }
@@ -369,54 +786,6 @@ impl DeployRuntime {
         state.report.total_clock = state.clock;
         debug_assert!(state.report.prefixes_respected());
         Ok(state.report)
-    }
-
-    /// Freezes the prefix, derives the residual instance, re-optimizes it
-    /// (warm-started from the in-flight order) and splices the result back.
-    fn replan(&self, state: &mut RunState, trigger: &str) -> Result<(), DeployError> {
-        if state.pending.is_empty() {
-            return Ok(());
-        }
-        let residual = state
-            .instance
-            .residual_excluding(&state.built, &state.excluded)?;
-        // Mechanical plan maintenance (appends on addition, removals on
-        // drop) must keep the suffix a permutation of the residual indexes.
-        // If it ever does not, surface the bug — a `None` warm start would
-        // make the replanner fall back to greedy, silently turning the
-        // static baseline into a replanning policy.
-        let warm = residual.project_order(&state.pending).ok_or_else(|| {
-            DeployError::InvalidPlan(
-                "in-flight suffix is not a permutation of the residual indexes".into(),
-            )
-        })?;
-        let outcome = self
-            .config
-            .replanner
-            .replan(residual.instance(), Some(&warm));
-        let new_pending = residual.lift_order(outcome.deployment.order());
-
-        // The spliced order must extend the frozen prefix and satisfy the
-        // (possibly revised) closure — checked here *and* by validate_plan.
-        let spliced = Deployment::splice(&state.built_order, &new_pending);
-        if !spliced.starts_with(&state.built_order) {
-            return Err(DeployError::InvalidPlan(
-                "replan reordered the frozen prefix".into(),
-            ));
-        }
-
-        state.report.replans.push(ReplanRecord {
-            clock: state.clock,
-            trigger: trigger.to_string(),
-            frozen_prefix: state.built_order.clone(),
-            suffix_len: new_pending.len(),
-            warm_start_objective: outcome.warm_start_objective,
-            objective: outcome.objective,
-            solver: outcome.solver,
-            improved: outcome.improved,
-        });
-        state.pending = new_pending;
-        Ok(())
     }
 }
 
@@ -639,5 +1008,300 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, DeployError::InvalidInitialPlan(_)));
         assert!(err.to_string().contains("invalid initial plan"));
+    }
+
+    #[test]
+    fn two_slot_quiet_timeline_hand_computed() {
+        // Plan [0,1,2,3] on two slots. Dispatch order is plan order; i1 and
+        // i3 start before their helpers complete, so they pay full price —
+        // the makespan shrinks from 14.5 to 11 anyway:
+        //
+        //   slot 0: i0 [0,4]           i2 [4,7]
+        //   slot 1: i1 [0,6]           i3 [6,11]
+        //   runtime: 70 →(i0@4) 65 →(i1@6) 50 →(i2@7) 42 →(i3@11) 25
+        //   realized = 70·4 + 65·2 + 50·1 + 42·4 = 628
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let report = DeployRuntime::new(DeployConfig::static_plan().with_build_slots(2))
+            .execute(&inst, &plan, &EvolutionScenario::quiet("q"))
+            .unwrap();
+        assert_eq!(report.realized_order(), plan);
+        assert_eq!(report.slots_used(), 2);
+        let slots: Vec<usize> = report.builds.iter().map(|b| b.slot).collect();
+        assert_eq!(slots, [0, 1, 0, 1]);
+        let costs: Vec<f64> = report.builds.iter().map(|b| b.cost).collect();
+        assert_eq!(
+            costs,
+            [4.0, 6.0, 3.0, 5.0],
+            "in-flight helpers discount nothing"
+        );
+        let finishes: Vec<f64> = report.builds.iter().map(|b| b.finish).collect();
+        assert_eq!(finishes, [4.0, 6.0, 7.0, 11.0]);
+        assert!((report.realized_cost - 628.0).abs() < 1e-9);
+        assert_eq!(report.total_clock, 11.0);
+        assert_eq!(report.total_build_time, 18.0);
+        assert_eq!(report.final_runtime, 25.0);
+
+        // The serial run pays 837 over 14.5s: concurrency wins here even
+        // though it forfeits both build-interaction discounts.
+        let serial = DeployRuntime::default()
+            .execute(&inst, &plan, &EvolutionScenario::quiet("q"))
+            .unwrap();
+        assert!((serial.realized_cost - 837.0).abs() < 1e-9);
+        assert_eq!(serial.total_clock, 14.5);
+        assert!(report.realized_cost < serial.realized_cost);
+    }
+
+    #[test]
+    fn precedence_blocks_dispatch_until_the_prerequisite_completes() {
+        let mut b = ProblemInstance::builder("gate");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(6.0);
+        let i2 = b.add_index(3.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![i0], 10.0);
+        b.add_plan(q0, vec![i1], 30.0);
+        b.add_plan(q0, vec![i2], 5.0);
+        b.add_precedence(i0, i1);
+        let inst = b.build().unwrap();
+        let plan = Deployment::from_raw([0, 1, 2]);
+        let report = DeployRuntime::new(DeployConfig::static_plan().with_build_slots(2))
+            .execute(&inst, &plan, &EvolutionScenario::quiet("q"))
+            .unwrap();
+        // i1 is the head while i0 is in flight: the second slot must idle
+        // (no skipping ahead to i2 — dispatch is strictly in plan order).
+        assert_eq!(report.builds[0].start, 0.0);
+        assert_eq!(report.builds[1].index, IndexId::new(1));
+        assert_eq!(report.builds[1].start, 4.0, "gated on i0's completion");
+        assert_eq!(report.builds[2].index, IndexId::new(2));
+        assert_eq!(report.builds[2].start, 4.0, "freed alongside the gate");
+        assert_eq!(report.builds[2].slot, 1);
+        assert!(report.realized_order().is_valid_for(&inst));
+    }
+
+    #[test]
+    fn mid_flight_replan_freezes_the_in_flight_set() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        // Two slots: i0 [0,4] and i1 [0,6] overlap; the drift lands at the
+        // i0 completion boundary (t=4) while i1 is still building.
+        let scenario = EvolutionScenario {
+            name: "midflight".into(),
+            events: vec![drift_at(3.5, 1, 10.0)],
+            failures: vec![],
+        };
+        let report = DeployRuntime::new(DeployConfig::greedy_replan().with_build_slots(2))
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(report.replans.len(), 1);
+        let replan = &report.replans[0];
+        assert_eq!(replan.clock, 4.0);
+        assert_eq!(replan.frozen_prefix, [IndexId::new(0), IndexId::new(1)]);
+        assert_eq!(replan.in_flight, [IndexId::new(1)]);
+        assert_eq!(replan.suffix_len, 2);
+        assert!(report.prefixes_respected());
+        assert!(report.in_flight_respected());
+        // The in-flight build was neither cancelled nor rebuilt.
+        assert_eq!(report.builds[1].index, IndexId::new(1));
+        assert_eq!(report.builds[1].finish, 6.0);
+        assert_eq!(report.builds.len(), 4);
+    }
+
+    #[test]
+    fn on_failure_trigger_recovers_realized_cost() {
+        let inst = instance();
+        // A deliberately mediocre tail: after i0, the pending order serves
+        // the big q1 speed-up last.
+        let plan = Deployment::from_raw([0, 3, 1, 2]);
+        let scenario = EvolutionScenario {
+            name: "flaky".into(),
+            events: vec![],
+            failures: vec![idd_core::BuildFailure {
+                index: IndexId::new(0),
+                failures: 2,
+                waste_fraction: 0.9,
+            }],
+        };
+        let ignore = DeployRuntime::new(DeployConfig::greedy_replan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert!(ignore.replans.is_empty(), "OnEvent never fires here");
+        let react = DeployRuntime::new(
+            DeployConfig::greedy_replan().with_trigger(ReplanTrigger::OnFailure),
+        )
+        .execute(&inst, &plan, &scenario)
+        .unwrap();
+        assert_eq!(react.replans.len(), 1);
+        assert_eq!(react.replans[0].trigger, "failure");
+        assert!(react.replans[0].improved);
+        assert!(
+            react.realized_cost < ignore.realized_cost - 1e-9,
+            "failure-triggered replan {} must recover cost vs {}",
+            react.realized_cost,
+            ignore.realized_cost
+        );
+        // Same failures either way — the replan reorders the suffix only.
+        assert_eq!(react.retries, ignore.retries);
+        assert_eq!(react.builds[0].index, IndexId::new(0));
+    }
+
+    #[test]
+    fn debounce_batches_bursty_events_into_one_replan() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        // Serial boundaries: 4, 8, 11, 14.5. The two drifts land at
+        // different boundaries (8 and 11), 4.5 clock apart.
+        let scenario = EvolutionScenario {
+            name: "burst".into(),
+            events: vec![drift_at(4.5, 1, 3.0), drift_at(9.0, 0, 0.5)],
+            failures: vec![],
+        };
+        let eager = DeployRuntime::new(DeployConfig::static_plan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(eager.replans.len(), 2);
+        let debounced = DeployRuntime::new(DeployConfig::static_plan().with_debounce(5.0))
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(debounced.replans.len(), 1, "burst batches into one replan");
+        assert_eq!(debounced.replans[0].trigger, "drift");
+        assert_eq!(debounced.events_applied, 2);
+        // Events still apply at their own boundaries — only the replan is
+        // deferred — so the realized (static) order is unchanged.
+        assert_eq!(debounced.realized_order(), eager.realized_order());
+    }
+
+    #[test]
+    fn debounce_deferral_cannot_livelock_on_a_stuck_clock() {
+        // A revision retracts i1, a second one adds X behind an
+        // `after = [i1]` precedence, and a third event waits inside the
+        // debounce window. After the batch lands, the pending head X is
+        // permanently ineligible and nothing is in flight — the clock can
+        // never reach the queued event, so deferring the replan again would
+        // spin forever. The runtime must act instead and surface the broken
+        // precedence, exactly like the undebounced run does.
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "stuck".into(),
+            events: vec![
+                EvolutionEvent {
+                    at: 3.0,
+                    kind: EventKind::Revision(DesignRevision {
+                        add: vec![],
+                        drop: vec![IndexId::new(1), IndexId::new(2), IndexId::new(3)],
+                    }),
+                },
+                EvolutionEvent {
+                    at: 3.5,
+                    kind: EventKind::Revision(DesignRevision {
+                        add: vec![IndexAddition {
+                            name: "orphaned".into(),
+                            creation_cost: 2.0,
+                            plans: vec![(QueryId::new(0), vec![], 10.0)],
+                            helped_by: vec![],
+                            helps: vec![],
+                            after: vec![IndexId::new(1)],
+                        }],
+                        drop: vec![],
+                    }),
+                },
+                drift_at(6.0, 0, 2.0),
+            ],
+            failures: vec![],
+        };
+        let eager = DeployRuntime::new(DeployConfig::static_plan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap_err();
+        let debounced = DeployRuntime::new(DeployConfig::static_plan().with_debounce(10.0))
+            .execute(&inst, &plan, &scenario)
+            .unwrap_err();
+        assert!(matches!(eager, DeployError::InfeasibleEvent(_)), "{eager}");
+        assert!(
+            matches!(debounced, DeployError::InfeasibleEvent(_)),
+            "{debounced}"
+        );
+    }
+
+    #[test]
+    fn coincident_events_trigger_exactly_one_replan() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "coincident".into(),
+            events: vec![
+                drift_at(4.0, 1, 2.0),
+                drift_at(4.0, 0, 3.0),
+                EvolutionEvent {
+                    at: 4.0,
+                    kind: EventKind::Revision(DesignRevision {
+                        add: vec![],
+                        drop: vec![IndexId::new(3)],
+                    }),
+                },
+            ],
+            failures: vec![],
+        };
+        let report = DeployRuntime::new(DeployConfig::greedy_replan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(report.events_applied, 3);
+        assert_eq!(report.replans.len(), 1, "coincident events batch");
+        assert_eq!(report.replans[0].trigger, "drift+revision");
+    }
+
+    #[test]
+    fn zero_slots_are_clamped_to_one() {
+        let inst = instance();
+        let plan = Deployment::from_raw([1, 0, 3, 2]);
+        let scenario = EvolutionScenario {
+            name: "drift".into(),
+            events: vec![drift_at(5.0, 1, 4.0)],
+            failures: vec![],
+        };
+        let zero = DeployRuntime::new(DeployConfig::greedy_replan().with_build_slots(0))
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        let one = DeployRuntime::new(DeployConfig::greedy_replan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(zero, one);
+    }
+
+    #[test]
+    fn one_slot_execute_matches_the_serial_reference_exactly() {
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "mixed".into(),
+            events: vec![
+                drift_at(4.5, 1, 6.0),
+                EvolutionEvent {
+                    at: 9.0,
+                    kind: EventKind::Revision(DesignRevision {
+                        add: vec![IndexAddition {
+                            name: "late".into(),
+                            creation_cost: 2.0,
+                            plans: vec![(QueryId::new(0), vec![], 10.0)],
+                            helped_by: vec![],
+                            helps: vec![],
+                            after: vec![],
+                        }],
+                        drop: vec![],
+                    }),
+                },
+            ],
+            failures: vec![idd_core::BuildFailure {
+                index: IndexId::new(2),
+                failures: 1,
+                waste_fraction: 0.5,
+            }],
+        };
+        let runtime = DeployRuntime::new(DeployConfig::greedy_replan());
+        let unified = runtime.execute(&inst, &plan, &scenario).unwrap();
+        let serial = runtime
+            .execute_serial_reference(&inst, &plan, &scenario)
+            .unwrap();
+        assert_eq!(unified, serial, "one-slot scheduler must be bit-identical");
     }
 }

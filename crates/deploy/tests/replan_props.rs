@@ -81,6 +81,7 @@ fn policy(choice: u8) -> DeployConfig {
                 },
                 SearchBudget::nodes(30),
             ),
+            ..DeployConfig::default()
         },
     }
 }
@@ -158,6 +159,19 @@ proptest! {
         prop_assert!(
             report.total_clock >= report.builds.last().map_or(0.0, |b| b.finish) - 1e-9
         );
+
+        // Per-build timeline identity: a slot holds its build for exactly
+        // the failed attempts plus the successful one, so
+        // `finish − start == wasted + cost` (and with no failures, the
+        // figure-14 plot can read the bar length as the build cost).
+        for b in &report.builds {
+            prop_assert!(
+                (b.finish - b.start - (b.wasted + b.cost)).abs() < 1e-9,
+                "build {} occupies [{}, {}] but wasted+cost = {}",
+                b.index, b.start, b.finish, b.wasted + b.cost
+            );
+            prop_assert_eq!(b.slot, 0, "the serial path uses slot 0 only");
+        }
     }
 
     /// The zero-event invariant: a quiet scenario reproduces the offline

@@ -180,9 +180,26 @@ impl<'a> ObjectiveEvaluator<'a> {
 
         state.area += runtime_before * build_cost;
         state.elapsed += build_cost;
+        self.make_available(state, index);
+
+        StepMetrics {
+            index,
+            build_cost,
+            runtime_before,
+            runtime_after: state.runtime,
+            elapsed_start,
+            elapsed_end: state.elapsed,
+        }
+    }
+
+    /// Marks `index` built and drops the runtime by its newly available
+    /// plans. Shared by the serial [`ObjectiveEvaluator::apply_step`] and
+    /// the slot-aware [`ObjectiveStepper::complete_build`] so the
+    /// `step ≡ begin_build; accrue; complete_build` identity holds by
+    /// construction — same floating-point operations in the same order.
+    fn make_available(&self, state: &mut EvalState, index: IndexId) {
         state.built[index.raw()] = true;
         state.built_count += 1;
-
         // Newly available plans can only improve each query's best speed-up.
         for &pid in self.instance.plans_using_index(index) {
             let p = pid.raw();
@@ -195,15 +212,6 @@ impl<'a> ObjectiveEvaluator<'a> {
                     state.best_speedup[q] = s;
                 }
             }
-        }
-
-        StepMetrics {
-            index,
-            build_cost,
-            runtime_before,
-            runtime_after: state.runtime,
-            elapsed_start,
-            elapsed_end: state.elapsed,
         }
     }
 
@@ -288,16 +296,95 @@ impl<'a> ObjectiveEvaluator<'a> {
 /// operations as [`ObjectiveEvaluator::evaluate`] on that order — a runtime
 /// that accumulates `runtime_before · build_cost` per step reproduces the
 /// offline objective *exactly*, not just within a tolerance.
+///
+/// # Overlapping builds
+///
+/// The serial [`ObjectiveStepper::step`] is a composition of three
+/// slot-aware primitives that a concurrent runtime can drive independently:
+///
+/// 1. [`ObjectiveStepper::begin_build`] — prices the build against the
+///    *completed* set (an in-flight helper contributes nothing yet) and
+///    marks it in flight;
+/// 2. [`ObjectiveStepper::accrue`] — integrates `runtime · duration` of
+///    wall-clock into the area while the workload runs at the current
+///    runtime level;
+/// 3. [`ObjectiveStepper::complete_build`] — lands the finished index,
+///    dropping the runtime by its newly available plans.
+///
+/// Builds may complete out of submission order; the runtime level only ever
+/// reflects *completed* indexes. The serial identity
+/// `step(i) ≡ begin_build(i); accrue(cost); complete_build(i)` holds
+/// bit-for-bit (same floating-point operations in the same order), which is
+/// what lets a one-slot concurrent scheduler reproduce
+/// [`ObjectiveEvaluator::evaluate`] exactly.
 #[derive(Debug, Clone)]
 pub struct ObjectiveStepper<'a> {
     evaluator: ObjectiveEvaluator<'a>,
     state: EvalState,
+    /// Bitmap of begun-but-not-completed indexes (parallel to `built`).
+    in_flight: Vec<bool>,
+    in_flight_count: usize,
 }
 
 impl<'a> ObjectiveStepper<'a> {
     /// Applies one deployment step (builds `index`) and returns its metrics.
     pub fn step(&mut self, index: IndexId) -> StepMetrics {
         self.evaluator.apply_step(&mut self.state, index)
+    }
+
+    /// Starts building `index`: marks it in flight and returns its effective
+    /// build cost, priced against the *completed* set only — a helper that
+    /// is itself still in flight discounts nothing.
+    ///
+    /// The cost is identical to what [`ObjectiveStepper::step`] would charge
+    /// at this state; the returned value is the caller's to schedule (the
+    /// stepper does not advance time).
+    pub fn begin_build(&mut self, index: IndexId) -> f64 {
+        debug_assert!(
+            !self.state.built[index.raw()] && !self.in_flight[index.raw()],
+            "{index} begun twice"
+        );
+        self.in_flight[index.raw()] = true;
+        self.in_flight_count += 1;
+        self.evaluator
+            .instance
+            .effective_build_cost(index, &self.state.built)
+    }
+
+    /// Integrates `duration` wall-clock seconds at the current runtime level
+    /// into the objective area (one `runtime · duration` product) and
+    /// advances the deployment clock.
+    pub fn accrue(&mut self, duration: f64) -> f64 {
+        let cost = self.state.runtime * duration;
+        self.state.area += cost;
+        self.state.elapsed += duration;
+        cost
+    }
+
+    /// Completes an in-flight build: the index becomes available, its plans
+    /// unlock, and the workload runtime drops accordingly. Returns
+    /// `(runtime_before, runtime_after)` around the completion.
+    ///
+    /// Completions may arrive in any order relative to
+    /// [`ObjectiveStepper::begin_build`] calls — only relative to their own
+    /// `begin_build`.
+    pub fn complete_build(&mut self, index: IndexId) -> (f64, f64) {
+        debug_assert!(self.in_flight[index.raw()], "{index} completed unbegun");
+        self.in_flight[index.raw()] = false;
+        self.in_flight_count -= 1;
+        let runtime_before = self.state.runtime;
+        self.evaluator.make_available(&mut self.state, index);
+        (runtime_before, self.state.runtime)
+    }
+
+    /// `true` when `index` has been begun but not yet completed.
+    pub fn is_in_flight(&self, index: IndexId) -> bool {
+        self.in_flight[index.raw()]
+    }
+
+    /// Number of builds currently in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight_count
     }
 
     /// Current total workload runtime (after everything stepped so far).
@@ -338,6 +425,8 @@ impl<'a> ObjectiveEvaluator<'a> {
     pub fn stepper(&self) -> ObjectiveStepper<'a> {
         ObjectiveStepper {
             state: EvalState::initial(self),
+            in_flight: vec![false; self.instance.num_indexes()],
+            in_flight_count: 0,
             evaluator: self.clone(),
         }
     }
@@ -596,6 +685,93 @@ mod tests {
             assert!(stepper.is_built(IndexId::new(0)));
             assert_eq!(stepper.built(), &[true, true]);
         }
+    }
+
+    #[test]
+    fn slot_decomposition_replays_step_bit_for_bit() {
+        // step(i) ≡ begin_build(i); accrue(cost); complete_build(i) — the
+        // identity the one-slot concurrent scheduler relies on.
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        for order in [[0usize, 1], [1, 0]] {
+            let d = Deployment::from_raw(order);
+            let value = eval.evaluate(&d);
+            let mut stepper = eval.stepper();
+            for (pos, index) in d.iter() {
+                let cost = stepper.begin_build(index);
+                assert_eq!(cost.to_bits(), value.steps[pos].build_cost.to_bits());
+                assert!(stepper.is_in_flight(index));
+                assert_eq!(stepper.in_flight_count(), 1);
+                let accrued = stepper.accrue(cost);
+                assert_eq!(
+                    accrued.to_bits(),
+                    (value.steps[pos].runtime_before * value.steps[pos].build_cost).to_bits()
+                );
+                let (before, after) = stepper.complete_build(index);
+                assert_eq!(before.to_bits(), value.steps[pos].runtime_before.to_bits());
+                assert_eq!(after.to_bits(), value.steps[pos].runtime_after.to_bits());
+                assert!(!stepper.is_in_flight(index));
+            }
+            assert_eq!(stepper.area().to_bits(), value.area.to_bits());
+            assert_eq!(stepper.runtime().to_bits(), value.final_runtime.to_bits());
+            assert_eq!(stepper.elapsed().to_bits(), value.deployment_time.to_bits());
+        }
+    }
+
+    #[test]
+    fn overlapping_builds_price_against_completed_indexes_only() {
+        // Start i1 while i0 is still in flight: i0's build interaction on i1
+        // (saving 2.0) must NOT apply, and the runtime only drops when each
+        // build *completes*, in completion order.
+        let inst = competing_example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let mut stepper = eval.stepper();
+        let c0 = stepper.begin_build(IndexId::new(0));
+        let c1 = stepper.begin_build(IndexId::new(1));
+        assert_eq!(c0, 4.0);
+        assert_eq!(c1, 6.0, "in-flight i0 must not discount i1");
+        assert_eq!(stepper.in_flight_count(), 2);
+        assert_eq!(stepper.runtime(), 30.0);
+
+        // Both run concurrently; i0 completes at t=4, i1 at t=6.
+        let first = stepper.accrue(4.0); // [0,4] at the baseline runtime
+        assert_eq!(first, 30.0 * 4.0);
+        let (_, after_i0) = stepper.complete_build(IndexId::new(0));
+        assert_eq!(after_i0, 25.0); // 5s plan available
+        let second = stepper.accrue(2.0); // [4,6] at the post-i0 runtime
+        assert_eq!(second, 25.0 * 2.0);
+        let (_, after_i1) = stepper.complete_build(IndexId::new(1));
+        assert_eq!(after_i1, 10.0); // 20s plan available
+        assert_eq!(stepper.area(), 120.0 + 50.0);
+        assert_eq!(stepper.elapsed(), 6.0);
+        assert_eq!(stepper.built(), &[true, true]);
+        assert_eq!(stepper.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_completion_unlocks_plans_at_the_second_build() {
+        // Query interaction: the plan needs both i0 and i1; completing them
+        // in either order only unlocks the speed-up at the second
+        // completion.
+        let mut b = ProblemInstance::builder("join");
+        let i0 = b.add_index(2.0);
+        let i1 = b.add_index(6.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![i0, i1], 40.0);
+        let inst = b.build().unwrap();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let mut stepper = eval.stepper();
+        // Submission order i1 then i0; i0 (cheaper) completes first.
+        stepper.begin_build(IndexId::new(1));
+        stepper.begin_build(IndexId::new(0));
+        stepper.accrue(2.0);
+        let (_, after_first) = stepper.complete_build(IndexId::new(0));
+        assert_eq!(after_first, 50.0, "half-available plan unlocks nothing");
+        stepper.accrue(4.0);
+        let (_, after_second) = stepper.complete_build(IndexId::new(1));
+        assert_eq!(after_second, 10.0);
+        assert_eq!(stepper.area(), 50.0 * 2.0 + 50.0 * 4.0);
+        assert_eq!(stepper.elapsed(), 6.0);
     }
 
     #[test]

@@ -28,13 +28,27 @@ use crate::types::IndexId;
 
 /// A residual problem instance for the unbuilt suffix of a deployment,
 /// together with the id mapping back to its parent instance.
+///
+/// With concurrent build slots, a replan can fire while builds are still
+/// running. Those *in-flight* indexes are committed: they can no more be
+/// reordered than the built prefix, yet their completions still discount
+/// query costs and future builds. [`ProblemInstance::residual_for_replan`]
+/// therefore conditions the residual on built ∪ in-flight and records the
+/// in-flight order here, so [`ResidualInstance::splice_around`] can
+/// reassemble `built ++ in-flight ++ replanned suffix` and callers can
+/// assert no in-flight index leaked into the reordering.
 #[derive(Debug, Clone)]
 pub struct ResidualInstance {
     instance: ProblemInstance,
     /// Residual id (dense) → parent id.
     to_parent: Vec<IndexId>,
-    /// Parent raw id → residual id, `None` for built/excluded indexes.
+    /// Parent raw id → residual id, `None` for built/excluded/in-flight
+    /// indexes.
     from_parent: Vec<Option<IndexId>>,
+    /// Parent ids of the builds that were in flight when the residual was
+    /// derived, in dispatch order. Empty for serial (build-boundary)
+    /// residuals.
+    in_flight: Vec<IndexId>,
 }
 
 impl ResidualInstance {
@@ -92,6 +106,32 @@ impl ResidualInstance {
         order.extend(self.lift_order(suffix.order()));
         Deployment::new(order)
     }
+
+    /// The builds that were in flight when this residual was derived, in
+    /// dispatch order (parent ids). Empty unless the residual came from
+    /// [`ProblemInstance::residual_for_replan`].
+    pub fn in_flight(&self) -> &[IndexId] {
+        &self.in_flight
+    }
+
+    /// [`ResidualInstance::splice`] for mid-build replans: the full order is
+    /// `built_prefix ++ in-flight ++ lifted suffix` — both commitments taken
+    /// verbatim, never reordered.
+    ///
+    /// This is the canonical *completed-then-in-flight* normal form, for
+    /// callers that track the two commitments separately. A concurrent
+    /// scheduler whose completions interleave with dispatches should splice
+    /// onto its own dispatch-order committed sequence instead
+    /// ([`Deployment::splice`]) — the two agree exactly when every
+    /// completed build was dispatched before every in-flight one.
+    pub fn splice_around(&self, built_prefix: &[IndexId], suffix: &Deployment) -> Deployment {
+        let mut order =
+            Vec::with_capacity(built_prefix.len() + self.in_flight.len() + suffix.len());
+        order.extend_from_slice(built_prefix);
+        order.extend_from_slice(&self.in_flight);
+        order.extend(self.lift_order(suffix.order()));
+        Deployment::new(order)
+    }
 }
 
 impl ProblemInstance {
@@ -115,6 +155,46 @@ impl ProblemInstance {
         &self,
         built: &[bool],
         excluded: &[bool],
+    ) -> Result<ResidualInstance> {
+        self.residual_impl(built, excluded, Vec::new())
+    }
+
+    /// The residual instance for a replan that fires while builds are still
+    /// in flight (concurrent build slots): `in_flight` lists the committed
+    /// builds in dispatch order. They are conditioned on exactly like the
+    /// built prefix — their completions *will* discount query costs and
+    /// future builds — but, like the prefix, they are excluded from the
+    /// reordering decision: they appear in no residual id and the replanned
+    /// suffix is spliced *behind* them
+    /// ([`ResidualInstance::splice_around`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an in-flight index is already built or excluded — that is a
+    /// scheduler bug, not a recoverable state.
+    pub fn residual_for_replan(
+        &self,
+        built: &[bool],
+        in_flight: &[IndexId],
+        excluded: &[bool],
+    ) -> Result<ResidualInstance> {
+        let mut committed = built.to_vec();
+        for &i in in_flight {
+            assert!(
+                !built[i.raw()] && !excluded[i.raw()],
+                "in-flight {i} is already built or excluded"
+            );
+            assert!(!committed[i.raw()], "in-flight {i} listed twice");
+            committed[i.raw()] = true;
+        }
+        self.residual_impl(&committed, excluded, in_flight.to_vec())
+    }
+
+    fn residual_impl(
+        &self,
+        built: &[bool],
+        excluded: &[bool],
+        in_flight: Vec<IndexId>,
     ) -> Result<ResidualInstance> {
         let n = self.num_indexes();
         assert_eq!(built.len(), n, "built bitmap must cover every index");
@@ -235,6 +315,7 @@ impl ProblemInstance {
             instance: b.build()?,
             to_parent,
             from_parent,
+            in_flight,
         })
     }
 }
@@ -372,6 +453,88 @@ mod tests {
         let q1_plans = r.plans_of_query(crate::types::QueryId::new(1));
         assert_eq!(q1_plans.len(), 1);
         assert_eq!(r.plan(q1_plans[0]).speedup, 8.0);
+    }
+
+    #[test]
+    fn in_flight_residual_conditions_like_built_but_never_reorders() {
+        let inst = parent();
+        // i0 is built; i2 is mid-build when the replan fires. The residual
+        // decision is over {i1, i3} only, conditioned on i0 AND i2.
+        let built = built_bitmap(4, &[0]);
+        let in_flight = [IndexId::new(2)];
+        let excluded = vec![false; 4];
+        let residual = inst
+            .residual_for_replan(&built, &in_flight, &excluded)
+            .unwrap();
+        assert_eq!(residual.in_flight(), &in_flight);
+        assert_eq!(residual.num_remaining(), 2);
+        // No residual id maps to the in-flight index…
+        assert!(residual.residual_id(IndexId::new(2)).is_none());
+        for r in 0..residual.num_remaining() {
+            assert_ne!(residual.parent_id(IndexId::new(r)), IndexId::new(2));
+        }
+        // …but its conditioning matches the plain residual that treats i2 as
+        // already built: same costs, same runtimes, same plans.
+        let as_built = inst.residual(&built_bitmap(4, &[0, 2])).unwrap();
+        let (a, b) = (residual.instance(), as_built.instance());
+        assert_eq!(a.num_indexes(), b.num_indexes());
+        for raw in 0..a.num_indexes() {
+            assert_eq!(
+                a.creation_cost(IndexId::new(raw)),
+                b.creation_cost(IndexId::new(raw))
+            );
+        }
+        for q in 0..a.num_queries() {
+            assert_eq!(
+                a.query_runtime(crate::types::QueryId::new(q)),
+                b.query_runtime(crate::types::QueryId::new(q))
+            );
+        }
+        assert_eq!(a.num_plans(), b.num_plans());
+        // The i2→i3 precedence is discharged by the in-flight commitment.
+        assert!(a.precedences().is_empty());
+
+        // splice_around keeps both commitments verbatim, in order.
+        let suffix = Deployment::from_raw([1, 0]);
+        let full = residual.splice_around(&[IndexId::new(0)], &suffix);
+        assert!(full.starts_with(&[IndexId::new(0), IndexId::new(2)]));
+        assert_eq!(full.len(), 4);
+
+        // Exactness: once the in-flight build completes, prefix + residual
+        // areas add up to the full area for any suffix order.
+        let eval = ObjectiveEvaluator::new(&inst);
+        let committed_prefix = [IndexId::new(0), IndexId::new(2)];
+        let prefix_area = eval.evaluate_prefix_area(&committed_prefix);
+        let res_eval = ObjectiveEvaluator::new(residual.instance());
+        for raw in [[0usize, 1], [1, 0]] {
+            let s = Deployment::from_raw(raw);
+            let full_area = eval.evaluate_area(&residual.splice_around(&[IndexId::new(0)], &s));
+            assert!((prefix_area + res_eval.evaluate_area(&s) - full_area).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_in_flight_replan_residual_matches_the_plain_residual() {
+        let inst = parent();
+        let built = built_bitmap(4, &[0]);
+        let excluded = vec![false; 4];
+        let plain = inst.residual_excluding(&built, &excluded).unwrap();
+        let replan = inst.residual_for_replan(&built, &[], &excluded).unwrap();
+        assert!(plain.in_flight().is_empty());
+        assert_eq!(replan.num_remaining(), plain.num_remaining());
+        let suffix = Deployment::identity(plain.num_remaining());
+        assert_eq!(
+            replan.splice_around(&[IndexId::new(0)], &suffix),
+            plain.splice(&[IndexId::new(0)], &suffix)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already built or excluded")]
+    fn in_flight_overlapping_built_is_a_scheduler_bug() {
+        let inst = parent();
+        let built = built_bitmap(4, &[0]);
+        let _ = inst.residual_for_replan(&built, &[IndexId::new(0)], &[false; 4]);
     }
 
     #[test]

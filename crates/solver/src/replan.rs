@@ -35,7 +35,7 @@ use crate::local::{
 use crate::portfolio::{PortfolioConfig, PortfolioSolver};
 use crate::result::CoopStats;
 use crate::solver::{CooperationPolicy, SolveContext, Solver};
-use idd_core::{Deployment, ObjectiveEvaluator, ProblemInstance};
+use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance, ResidualInstance};
 
 /// How to re-optimize a residual instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +187,43 @@ impl Replanner {
             elapsed_seconds: started.elapsed().as_secs_f64(),
         }
     }
+
+    /// Replans the pending suffix of a partially-executed deployment
+    /// *around* its committed work: `residual` carries the conditioning on
+    /// the built prefix plus any in-flight builds
+    /// ([`idd_core::ProblemInstance::residual_for_replan`]), and `pending`
+    /// is the surviving suffix — the parent-id order that was about to
+    /// execute, which becomes the warm start when it projects cleanly.
+    ///
+    /// Returns the replan outcome (residual ids, as
+    /// [`Replanner::replan`] does) together with the new pending order
+    /// lifted back to parent ids. In-flight indexes never appear in the
+    /// returned order — they are not residual indexes, so no strategy can
+    /// schedule (or rebuild) them; callers splice the result behind their
+    /// frozen commitment (the deploy runtime appends it to its
+    /// dispatch-order committed sequence;
+    /// [`ResidualInstance::splice_around`] is the equivalent for callers
+    /// tracking the built prefix and in-flight set separately).
+    ///
+    /// Returns `None` when `pending` is not a permutation of the residual
+    /// indexes — plan maintenance went out of sync with the instance, which
+    /// callers must surface as a bug rather than replan around.
+    pub fn replan_around(
+        &self,
+        residual: &ResidualInstance,
+        pending: &[IndexId],
+    ) -> Option<(ReplanOutcome, Vec<IndexId>)> {
+        let warm = residual.project_order(pending)?;
+        let outcome = self.replan(residual.instance(), Some(&warm));
+        let new_pending = residual.lift_order(outcome.deployment.order());
+        debug_assert!(
+            new_pending
+                .iter()
+                .all(|i| !residual.in_flight().contains(i)),
+            "replan scheduled an in-flight index"
+        );
+        Some((outcome, new_pending))
+    }
 }
 
 /// The replan roster: greedy (instant), best-swap tabu, LNS, VNS, CP+ with
@@ -309,6 +346,70 @@ mod tests {
         assert_eq!(a.objective.to_bits(), b.objective.to_bits());
         assert_eq!(a.deployment, b.deployment);
         assert_eq!(a.solver, b.solver);
+    }
+
+    #[test]
+    fn replan_around_keeps_in_flight_out_of_the_new_suffix() {
+        // Parent world: 6 indexes; i0 built, i1 and i4 in flight, the
+        // pending suffix is [i5, i3, i2]. Whatever the strategy returns, the
+        // committed indexes must never reappear.
+        let parent = residual_like(6);
+        let mut built = vec![false; 6];
+        built[0] = true;
+        let in_flight = [IndexId::new(1), IndexId::new(4)];
+        let residual = parent
+            .residual_for_replan(&built, &in_flight, &[false; 6])
+            .unwrap();
+        let pending = [IndexId::new(5), IndexId::new(3), IndexId::new(2)];
+        for strategy in [
+            ReplanStrategy::KeepOrder,
+            ReplanStrategy::Greedy,
+            ReplanStrategy::Portfolio {
+                cooperation: CooperationPolicy::Off,
+                cancel_on_optimal: false,
+            },
+        ] {
+            let replanner = Replanner::new(strategy, SearchBudget::nodes(40));
+            let (outcome, new_pending) = replanner
+                .replan_around(&residual, &pending)
+                .expect("pending is a permutation of the residual");
+            // Same index set as the old pending, no committed index leaked.
+            let mut sorted = new_pending.clone();
+            sorted.sort_unstable_by_key(|i| i.raw());
+            assert_eq!(sorted, [IndexId::new(2), IndexId::new(3), IndexId::new(5)]);
+            // The warm start survived as a candidate: never worse.
+            let warm_area = outcome.warm_start_objective.expect("projected cleanly");
+            assert!(outcome.objective <= warm_area + 1e-12);
+            // The spliced order extends the frozen commitment verbatim.
+            let spliced = residual.splice_around(
+                &[IndexId::new(0)],
+                &residual.project_order(&new_pending).unwrap(),
+            );
+            assert!(spliced.starts_with(&[IndexId::new(0), IndexId::new(1), IndexId::new(4)]));
+            assert!(spliced.is_valid_for(&parent));
+        }
+    }
+
+    #[test]
+    fn replan_around_rejects_a_desynced_pending_order() {
+        let parent = residual_like(5);
+        let built = vec![false; 5];
+        let residual = parent
+            .residual_for_replan(&built, &[IndexId::new(0)], &[false; 5])
+            .unwrap();
+        let replanner = Replanner::new(ReplanStrategy::Greedy, SearchBudget::nodes(10));
+        // Pending that still names the in-flight index is out of sync.
+        let stale = [
+            IndexId::new(0),
+            IndexId::new(1),
+            IndexId::new(2),
+            IndexId::new(3),
+        ];
+        assert!(replanner.replan_around(&residual, &stale).is_none());
+        // Pending that lost an index is out of sync too.
+        assert!(replanner
+            .replan_around(&residual, &[IndexId::new(1), IndexId::new(2)])
+            .is_none());
     }
 
     #[test]
