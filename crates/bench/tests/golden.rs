@@ -101,3 +101,14 @@ fn table9_tiny_output_matches_golden() {
 fn table10_tiny_output_matches_golden() {
     check(env!("CARGO_BIN_EXE_table10"), "table10_tiny.txt");
 }
+
+/// `table11 --tiny` pins the incremental-evaluation contract: the three
+/// scoring back ends (from-scratch, suffix replay, delta) must score every
+/// workload move — adjacent swaps, all pairs, bounded-radius relocations,
+/// and a committed walk — bit-identically. No timings are printed, so the
+/// output is machine-independent; a delta-path cache bug flips a "yes" to
+/// "NO" and fails here.
+#[test]
+fn table11_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_table11"), "table11_tiny.txt");
+}

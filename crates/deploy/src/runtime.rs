@@ -47,7 +47,7 @@
 
 use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
 use idd_core::{
-    CoreError, Deployment, EventKind, EvolutionEvent, EvolutionScenario, IndexId,
+    CoreError, Deployment, EventKind, EvolutionEvent, EvolutionScenario, ExactSum, IndexId,
     ObjectiveEvaluator, ProblemInstance,
 };
 use idd_solver::replan::{ReplanStrategy, Replanner};
@@ -250,6 +250,12 @@ struct RunState {
     /// Replan triggers accumulated but not yet acted on (debouncing).
     deferred_triggers: Vec<&'static str>,
     clock: f64,
+    /// Exact accumulator behind `report.realized_cost`: every
+    /// `runtime · duration` product lands here error-free and is rounded
+    /// once at the end of the run, so a quiet run reproduces the offline
+    /// objective area bit-for-bit (the offline evaluator sums the same
+    /// products the same way).
+    realized: ExactSum,
     report: DeploymentReport,
 }
 
@@ -266,6 +272,7 @@ impl RunState {
             pending: initial.order().to_vec(),
             deferred_triggers: Vec::new(),
             clock: 0.0,
+            realized: ExactSum::new(),
             report: DeploymentReport {
                 builds: Vec::new(),
                 replans: Vec::new(),
@@ -583,13 +590,17 @@ impl DeployRuntime {
                 // remaining span in one piece (the runtime level is
                 // constant over it — every earlier completion has already
                 // been processed).
+                let runtime = stepper.runtime();
                 if state.clock.to_bits() == fl.start.to_bits() {
                     for _ in 0..fl.retries {
-                        state.report.realized_cost += stepper.accrue(fl.waste_per_failure);
+                        state.realized.add_prod(runtime, fl.waste_per_failure);
+                        stepper.accrue(fl.waste_per_failure);
                     }
-                    state.report.realized_cost += stepper.accrue(fl.cost);
+                    state.realized.add_prod(runtime, fl.cost);
+                    stepper.accrue(fl.cost);
                 } else {
-                    state.report.realized_cost += stepper.accrue(fl.finish - state.clock);
+                    state.realized.add_prod(runtime, fl.finish - state.clock);
+                    stepper.accrue(fl.finish - state.clock);
                 }
                 state.clock = fl.finish;
 
@@ -617,6 +628,7 @@ impl DeployRuntime {
             }
         }
 
+        state.report.realized_cost = state.realized.value();
         state.report.total_clock = state.clock;
         debug_assert!(state.report.prefixes_respected());
         debug_assert!(state.report.in_flight_respected());
@@ -753,14 +765,16 @@ impl DeployRuntime {
                     let cost = state.instance.effective_build_cost(next, stepper.built());
                     let waste = cost * failure.waste_fraction.clamp(0.0, 1.0);
                     for _ in 0..failure.failures {
-                        state.report.realized_cost += stepper.runtime() * waste;
+                        state.realized.add_prod(stepper.runtime(), waste);
                         wasted += waste;
                         retries += 1;
                     }
                 }
 
                 let step = stepper.step(next);
-                state.report.realized_cost += step.runtime_before * step.build_cost;
+                state
+                    .realized
+                    .add_prod(step.runtime_before, step.build_cost);
                 state.clock += wasted + step.build_cost;
                 state.report.builds.push(ExecutedBuild {
                     position: state.committed.len(),
@@ -783,6 +797,7 @@ impl DeployRuntime {
             }
         }
 
+        state.report.realized_cost = state.realized.value();
         state.report.total_clock = state.clock;
         debug_assert!(state.report.prefixes_respected());
         Ok(state.report)

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod accsum;
 pub mod curve;
 pub mod error;
 pub mod evolution;
@@ -45,6 +46,7 @@ pub mod util;
 
 pub mod prelude;
 
+pub use accsum::ExactSum;
 pub use curve::{CurvePoint, ImprovementCurve};
 pub use error::{CoreError, Result};
 pub use evolution::{
@@ -54,9 +56,10 @@ pub use evolution::{
 pub use index::IndexMeta;
 pub use instance::{InstanceBuilder, ProblemInstance};
 pub use interaction::{BuildInteraction, Precedence};
-pub use matrix::MatrixFile;
+pub use matrix::{MatrixFile, SoaView};
 pub use objective::{
-    ObjectiveEvaluator, ObjectiveStepper, ObjectiveValue, PrefixEvaluator, StepMetrics,
+    DeltaEvaluator, ObjectiveEvaluator, ObjectiveStepper, ObjectiveValue, PrefixEvaluator,
+    StepMetrics, SuffixReplayEvaluator,
 };
 pub use plan::QueryPlan;
 pub use query::QueryMeta;

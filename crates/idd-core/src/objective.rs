@@ -11,16 +11,37 @@
 //! effective cost of building the i-th index, i.e. its base creation cost
 //! minus the best build interaction among already-built indexes.
 //!
-//! Two evaluators are provided:
+//! Three evaluators are provided:
 //!
 //! * [`ObjectiveEvaluator`] — evaluates a [`Deployment`] from scratch in
 //!   `O(Σ_p |p| + |Q| + |I|·avg_helpers)` time and optionally produces the
 //!   full per-step trace used by reports and Figure 13.
-//! * [`PrefixEvaluator`] — keeps per-position checkpoints of a *base* order so
-//!   that local-search moves (swaps, relocations) are evaluated by replaying
-//!   only the suffix that actually changes.
+//! * [`DeltaEvaluator`] — the local-search hot path: scores a move that
+//!   rewrites the span `[a, b)` of a *base* order in `O(b - a)` — `O(1)` for
+//!   an adjacent swap — over the [`SoaView`] layout,
+//!   *bit-identical* to re-running [`ObjectiveEvaluator::evaluate`].
+//!   [`PrefixEvaluator`] is a thin compatibility wrapper over it.
+//! * [`SuffixReplayEvaluator`] — the previous checkpoint-and-replay
+//!   incremental evaluator, kept as the easily-auditable reference the delta
+//!   path is differentially tested against (and as the "before" baseline of
+//!   the `table11` moves/sec benchmark).
+//!
+//! # Order-canonical arithmetic
+//!
+//! The objective is a sum of products; under naive left-to-right `f64`
+//! accumulation its low bits depend on the order the terms are added in,
+//! which makes a bit-for-bit `O(1)` move delta impossible (a swap perturbs
+//! every later partial sum's rounding). All evaluators therefore accumulate
+//! the area — and the workload-runtime level `R = R_∅ − Σ_q best_q` — in an
+//! [`ExactSum`] and round **once** when a value is read. That makes both
+//! quantities pure functions of the *set* of built indexes, so terms outside
+//! a rewritten span are bitwise unchanged and a span-local delta reproduces
+//! the from-scratch value exactly. The per-step trace ([`StepMetrics`]) and
+//! the deployment clock keep their plain-`f64` semantics.
 
+use crate::accsum::ExactSum;
 use crate::instance::ProblemInstance;
+use crate::matrix::SoaView;
 use crate::solution::Deployment;
 use crate::types::{IndexId, QueryId};
 use serde::{Deserialize, Serialize};
@@ -99,11 +120,16 @@ struct EvalState {
     missing: Vec<u32>,
     /// For each query, the best speed-up among currently available plans.
     best_speedup: Vec<f64>,
-    /// Current total workload runtime (`R` after the built prefix).
+    /// Current total workload runtime (`R` after the built prefix): the
+    /// canonical rounding of `runtime_acc`, refreshed whenever a best
+    /// speed-up improves.
     runtime: f64,
-    /// Accumulated objective area.
-    area: f64,
-    /// Accumulated deployment time.
+    /// Exact `R_∅ − Σ_q best_q`.
+    runtime_acc: ExactSum,
+    /// Exact accumulated objective area (`Σ R·C` terms, unrounded).
+    area_acc: ExactSum,
+    /// Accumulated deployment time (plain `f64`, matching the clock
+    /// arithmetic of schedules and the deploy runtime).
     elapsed: f64,
     /// Number of indexes built so far.
     built_count: usize,
@@ -111,15 +137,23 @@ struct EvalState {
 
 impl EvalState {
     fn initial(eval: &ObjectiveEvaluator<'_>) -> Self {
+        let mut runtime_acc = ExactSum::new();
+        runtime_acc.add(eval.baseline_runtime);
         EvalState {
             built: vec![false; eval.instance.num_indexes()],
             missing: eval.plan_width.clone(),
             best_speedup: vec![0.0; eval.instance.num_queries()],
             runtime: eval.baseline_runtime,
-            area: 0.0,
+            runtime_acc,
+            area_acc: ExactSum::new(),
             elapsed: 0.0,
             built_count: 0,
         }
+    }
+
+    /// The canonical (exactly rounded) objective area so far.
+    fn area(&self) -> f64 {
+        self.area_acc.value()
     }
 }
 
@@ -178,7 +212,7 @@ impl<'a> ObjectiveEvaluator<'a> {
         let build_cost = self.instance.effective_build_cost(index, &state.built);
         let elapsed_start = state.elapsed;
 
-        state.area += runtime_before * build_cost;
+        state.area_acc.add_prod(runtime_before, build_cost);
         state.elapsed += build_cost;
         self.make_available(state, index);
 
@@ -201,6 +235,7 @@ impl<'a> ObjectiveEvaluator<'a> {
         state.built[index.raw()] = true;
         state.built_count += 1;
         // Newly available plans can only improve each query's best speed-up.
+        let mut changed = false;
         for &pid in self.instance.plans_using_index(index) {
             let p = pid.raw();
             state.missing[p] -= 1;
@@ -208,10 +243,18 @@ impl<'a> ObjectiveEvaluator<'a> {
                 let q = self.plan_query[p];
                 let s = self.plan_speedup[p];
                 if s > state.best_speedup[q] {
-                    state.runtime -= s - state.best_speedup[q];
+                    state.runtime_acc.add(state.best_speedup[q]);
+                    state.runtime_acc.sub(s);
                     state.best_speedup[q] = s;
+                    changed = true;
                 }
             }
+        }
+        if changed {
+            // One canonical rounding per completed step: the runtime level
+            // is a pure function of the built *set*, which is what lets the
+            // delta evaluator splice spans bit-for-bit.
+            state.runtime = state.runtime_acc.value();
         }
     }
 
@@ -228,7 +271,7 @@ impl<'a> ObjectiveEvaluator<'a> {
             steps.push(self.apply_step(&mut state, index));
         }
         ObjectiveValue {
-            area: state.area,
+            area: state.area(),
             deployment_time: state.elapsed,
             baseline_runtime: self.baseline_runtime,
             final_runtime: state.runtime,
@@ -243,7 +286,7 @@ impl<'a> ObjectiveEvaluator<'a> {
         for (_, index) in deployment.iter() {
             self.apply_step(&mut state, index);
         }
-        state.area
+        state.area()
     }
 
     /// Evaluates the objective area of a *partial* prefix order (the
@@ -254,10 +297,14 @@ impl<'a> ObjectiveEvaluator<'a> {
         for &index in prefix {
             self.apply_step(&mut state, index);
         }
-        state.area
+        state.area()
     }
 
     /// Total workload runtime when exactly the indexes in `built` exist.
+    ///
+    /// Uses the same order-canonical rounding as the step-wise evaluators,
+    /// so the result agrees bit-for-bit with [`ObjectiveStepper::runtime`]
+    /// after stepping any order of the same set.
     pub fn runtime_with(&self, built: &[bool]) -> f64 {
         let mut best = vec![0.0_f64; self.instance.num_queries()];
         for (p, plan) in self.instance.plans().iter().enumerate() {
@@ -268,7 +315,12 @@ impl<'a> ObjectiveEvaluator<'a> {
                 }
             }
         }
-        self.baseline_runtime - best.iter().sum::<f64>()
+        let mut acc = ExactSum::new();
+        acc.add(self.baseline_runtime);
+        for b in best {
+            acc.sub(b);
+        }
+        acc.value()
     }
 
     /// The speed-up a single query currently enjoys given `built`.
@@ -292,10 +344,13 @@ impl<'a> ObjectiveEvaluator<'a> {
 /// rather than scoring a complete order.
 ///
 /// Guarantee: applying a sequence of indexes through
-/// [`ObjectiveStepper::step`] performs bit-for-bit the same floating-point
-/// operations as [`ObjectiveEvaluator::evaluate`] on that order — a runtime
-/// that accumulates `runtime_before · build_cost` per step reproduces the
-/// offline objective *exactly*, not just within a tolerance.
+/// [`ObjectiveStepper::step`] produces bit-for-bit the same `runtime`,
+/// per-step metrics and canonical area as [`ObjectiveEvaluator::evaluate`]
+/// on that order. An external accountant reproduces
+/// [`ObjectiveStepper::area`] *exactly* by feeding every
+/// `(runtime_before, build_cost)` pair into an [`ExactSum`] via
+/// [`ExactSum::add_prod`] — the area is the once-rounded exact sum of those
+/// products, independent of the order they accrue in.
 ///
 /// # Overlapping builds
 ///
@@ -353,12 +408,13 @@ impl<'a> ObjectiveStepper<'a> {
 
     /// Integrates `duration` wall-clock seconds at the current runtime level
     /// into the objective area (one `runtime · duration` product) and
-    /// advances the deployment clock.
+    /// advances the deployment clock. Returns the product, rounded once —
+    /// identical to the plain `runtime * duration` an external accountant
+    /// would compute.
     pub fn accrue(&mut self, duration: f64) -> f64 {
-        let cost = self.state.runtime * duration;
-        self.state.area += cost;
+        self.state.area_acc.add_prod(self.state.runtime, duration);
         self.state.elapsed += duration;
-        cost
+        self.state.runtime * duration
     }
 
     /// Completes an in-flight build: the index becomes available, its plans
@@ -392,9 +448,9 @@ impl<'a> ObjectiveStepper<'a> {
         self.state.runtime
     }
 
-    /// Accumulated objective area so far.
+    /// Accumulated objective area so far (canonically rounded).
     pub fn area(&self) -> f64 {
-        self.state.area
+        self.state.area()
     }
 
     /// Accumulated deployment time so far.
@@ -432,22 +488,25 @@ impl<'a> ObjectiveEvaluator<'a> {
     }
 }
 
-/// Incremental evaluator for local search over a *base* deployment order.
+/// Checkpoint-and-replay incremental evaluator — the *reference* the delta
+/// path is differentially tested against.
 ///
-/// [`PrefixEvaluator::set_base`] records a checkpoint of the evaluation state
-/// after every position. Evaluating a move that only changes the order from
-/// position `k` onward then costs `O((n-k) · step)` instead of a full
-/// re-evaluation — the dominant saving for swap neighbourhoods where most
-/// candidate moves touch late positions.
+/// [`SuffixReplayEvaluator::set_base`] records a full state checkpoint after
+/// every position; a move that changes the order from position `k` onward is
+/// scored by cloning the checkpoint at `k` and replaying the whole suffix.
+/// Correct by construction (it literally runs [`ObjectiveEvaluator`] steps)
+/// but `O(n · step)` per move and `O(n²)` checkpoint memory churn — which is
+/// why local search now runs on [`DeltaEvaluator`] instead. It remains the
+/// "before" baseline of the `table11` moves/sec benchmark.
 #[derive(Debug, Clone)]
-pub struct PrefixEvaluator<'a> {
+pub struct SuffixReplayEvaluator<'a> {
     evaluator: ObjectiveEvaluator<'a>,
     base: Deployment,
     /// `checkpoints[k]` is the state after the first `k` indexes of `base`.
     checkpoints: Vec<EvalState>,
 }
 
-impl<'a> PrefixEvaluator<'a> {
+impl<'a> SuffixReplayEvaluator<'a> {
     /// Creates an incremental evaluator with the given base order.
     pub fn new(instance: &'a ProblemInstance, base: Deployment) -> Self {
         let evaluator = ObjectiveEvaluator::new(instance);
@@ -472,7 +531,7 @@ impl<'a> PrefixEvaluator<'a> {
 
     /// The objective area of the current base order.
     pub fn base_area(&self) -> f64 {
-        self.checkpoints.last().map(|s| s.area).unwrap_or(0.0)
+        self.checkpoints.last().map(EvalState::area).unwrap_or(0.0)
     }
 
     /// Replaces the base order and rebuilds all checkpoints.
@@ -502,7 +561,7 @@ impl<'a> PrefixEvaluator<'a> {
         for pos in common..n {
             self.evaluator.apply_step(&mut state, order.at(pos));
         }
-        state.area
+        state.area()
     }
 
     /// Evaluates the area of the base order with positions `a` and `b`
@@ -524,7 +583,7 @@ impl<'a> PrefixEvaluator<'a> {
             };
             self.evaluator.apply_step(&mut state, index);
         }
-        state.area
+        state.area()
     }
 
     /// Applies a swap to the base order and refreshes checkpoints from the
@@ -545,10 +604,502 @@ impl<'a> PrefixEvaluator<'a> {
         }
     }
 
+    /// Replaces the whole base order (alias of
+    /// [`SuffixReplayEvaluator::set_base`] kept for readability at call
+    /// sites that accept arbitrary moves).
+    pub fn commit_order(&mut self, order: Deployment) {
+        self.set_base(order);
+    }
+}
+
+/// The move being scored by [`DeltaEvaluator::span_walk`]: how to read the
+/// *new* element at an absolute position inside the rewritten span.
+enum SpanMove<'s> {
+    /// Positions `lo` and `hi` exchange elements; everything between keeps
+    /// its element (but not necessarily its cost / runtime level).
+    Swap { lo: usize, hi: usize },
+    /// The element at `from` relocates to `to`
+    /// ([`Deployment::relocate`] semantics: remove, then insert).
+    Shift { from: usize, to: usize },
+    /// Positions `a + k` take `slice[k]` (a permutation of the span's
+    /// current elements) — the LNS repair-scoring shape.
+    Slice(&'s [IndexId]),
+    /// Positions take the corresponding element of a full replacement
+    /// order.
+    Order(&'s Deployment),
+}
+
+impl SpanMove<'_> {
+    /// The new element at absolute position `p` (which must lie inside the
+    /// rewritten span `[a, b)`).
+    #[inline]
+    fn elem(&self, base: &Deployment, a: usize, p: usize) -> usize {
+        match *self {
+            SpanMove::Swap { lo, hi } => {
+                if p == lo {
+                    base.at(hi).raw()
+                } else if p == hi {
+                    base.at(lo).raw()
+                } else {
+                    base.at(p).raw()
+                }
+            }
+            SpanMove::Shift { from, to } => {
+                if p == to {
+                    base.at(from).raw()
+                } else if from < to {
+                    base.at(p + 1).raw() // left rotation of (from, to]
+                } else {
+                    base.at(p - 1).raw() // right rotation of [to, from)
+                }
+            }
+            SpanMove::Slice(slice) => slice[p - a].raw(),
+            SpanMove::Order(order) => order.at(p).raw(),
+        }
+    }
+}
+
+/// Delta evaluator: scores span-rewriting local-search moves against a base
+/// order in `O(span)` — `O(1)` for adjacent swaps — bit-identical to
+/// [`ObjectiveEvaluator::evaluate`] on the moved order.
+///
+/// # How
+///
+/// For the base order it stores, per position `p`: the effective build cost
+/// `C_p`, the canonical runtime level `R_p` after `p` builds, and the exact
+/// runtime accumulator behind `R_p`. Because both are pure functions of the
+/// built *set* (see the module docs), a move that rewrites positions
+/// `[a, b)` leaves every `R_{p}·C_p` term outside the span bitwise
+/// unchanged. The evaluator therefore:
+///
+/// 1. copies the exact area accumulator and subtracts the span's old terms,
+/// 2. walks the span's *new* ordering — re-pricing each build against the
+///    prefix set via the [`SoaView`] adjacency arrays and re-deriving
+///    runtime drops with lazily-initialized, generation-stamped scratch
+///    state (no `O(n)` clearing between moves),
+/// 3. rounds the patched accumulator once.
+///
+/// Step 2 walks exactly the positions in `[a, b)`: an adjacent swap touches
+/// two, a shift only the rotated window, an LNS repair only the destroyed
+/// span. Committing a move additionally writes the walked positions'
+/// costs/runtimes back and updates plan completion positions — positions
+/// `≥ b` are never touched.
+#[derive(Debug, Clone)]
+pub struct DeltaEvaluator<'a> {
+    evaluator: ObjectiveEvaluator<'a>,
+    soa: SoaView,
+    base: Deployment,
+    /// Base position of each index (inverse permutation).
+    positions: Vec<u32>,
+    /// Effective build cost of the step at each position.
+    cost_at: Vec<f64>,
+    /// Canonical runtime level after `p` builds (`runtime_at[0] = R_∅`).
+    runtime_at: Vec<f64>,
+    /// Exact accumulator behind each `runtime_at` entry.
+    runtime_accs: Vec<ExactSum>,
+    /// Per plan: number of builds after which it completes (1-based).
+    complete_at: Vec<u32>,
+    /// Exact area of the base order.
+    area_acc: ExactSum,
+    /// Canonical rounding of `area_acc`.
+    area: f64,
+    // Generation-stamped scratch (lazily re-initialized per walk).
+    stamp: u64,
+    new_pos: Vec<u32>,
+    new_pos_stamp: Vec<u64>,
+    scratch_missing: Vec<u32>,
+    missing_stamp: Vec<u64>,
+    scratch_best: Vec<f64>,
+    best_stamp: Vec<u64>,
+    scratch_area: ExactSum,
+    scratch_runtime: ExactSum,
+}
+
+impl<'a> DeltaEvaluator<'a> {
+    /// Creates a delta evaluator over `base`.
+    pub fn new(instance: &'a ProblemInstance, base: Deployment) -> Self {
+        let evaluator = ObjectiveEvaluator::new(instance);
+        let soa = SoaView::new(instance);
+        let n = instance.num_indexes();
+        let np = soa.num_plans();
+        let nq = soa.num_queries();
+        let mut de = Self {
+            evaluator,
+            soa,
+            base: Deployment::new(Vec::new()),
+            positions: vec![0; n],
+            cost_at: vec![0.0; n],
+            runtime_at: vec![0.0; n + 1],
+            runtime_accs: vec![ExactSum::new(); n + 1],
+            complete_at: vec![u32::MAX; np],
+            area_acc: ExactSum::new(),
+            area: 0.0,
+            stamp: 0,
+            new_pos: vec![0; n],
+            new_pos_stamp: vec![0; n],
+            scratch_missing: vec![0; np],
+            missing_stamp: vec![0; np],
+            scratch_best: vec![0.0; nq],
+            best_stamp: vec![0; nq],
+            scratch_area: ExactSum::new(),
+            scratch_runtime: ExactSum::new(),
+        };
+        de.set_base(base);
+        de
+    }
+
+    /// The underlying full evaluator.
+    pub fn evaluator(&self) -> &ObjectiveEvaluator<'a> {
+        &self.evaluator
+    }
+
+    /// The SoA adjacency view the hot path runs on.
+    pub fn soa(&self) -> &SoaView {
+        &self.soa
+    }
+
+    /// The current base order.
+    pub fn base(&self) -> &Deployment {
+        &self.base
+    }
+
+    /// The objective area of the current base order.
+    pub fn base_area(&self) -> f64 {
+        self.area
+    }
+
+    /// Replaces the base order, rebuilding all per-position state in one
+    /// `O(n · degree)` pass (no per-checkpoint state clones).
+    pub fn set_base(&mut self, base: Deployment) {
+        let n = base.len();
+        debug_assert_eq!(n, self.positions.len());
+        for (p, index) in base.iter() {
+            self.positions[index.raw()] = p as u32;
+        }
+        self.runtime_accs[0].clear();
+        self.runtime_accs[0].add(self.evaluator.baseline_runtime);
+        self.runtime_at[0] = self.evaluator.baseline_runtime;
+        self.area_acc.clear();
+        self.base = base;
+        let area = self.span_walk(0, n, &SpanMove::Swap { lo: 0, hi: 0 }, true, true);
+        self.area = area;
+    }
+
+    /// Area of the base order with positions `a` and `b` swapped. `O(1)`
+    /// when `a` and `b` are adjacent, `O(|a - b|)` otherwise.
+    pub fn evaluate_swap(&mut self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return self.area;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.span_walk(lo, hi + 1, &SpanMove::Swap { lo, hi }, false, false)
+    }
+
+    /// Area of the base order with the element at `from` relocated to `to`
+    /// ([`Deployment::relocate`] semantics). `O(|from - to|)`.
+    pub fn evaluate_shift(&mut self, from: usize, to: usize) -> f64 {
+        if from == to {
+            return self.area;
+        }
+        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
+        self.span_walk(lo, hi + 1, &SpanMove::Shift { from, to }, false, false)
+    }
+
+    /// Area of the base order with positions `[a, a + span.len())` replaced
+    /// by `span` — a permutation of the elements currently there (checked in
+    /// debug builds). `O(span)`; the LNS repair-scoring entry point.
+    pub fn evaluate_span(&mut self, a: usize, span: &[IndexId]) -> f64 {
+        debug_assert!(self.span_is_permutation(a, span));
+        if span.is_empty() {
+            return self.area;
+        }
+        self.span_walk(a, a + span.len(), &SpanMove::Slice(span), false, false)
+    }
+
+    /// Area of an arbitrary full `order`, walking only the positions between
+    /// its longest common prefix and suffix with the base order.
+    pub fn evaluate_order(&mut self, order: &Deployment) -> f64 {
+        let (a, b) = self.diff_window(order);
+        if a == b {
+            return self.area;
+        }
+        self.span_walk(a, b, &SpanMove::Order(order), false, false)
+    }
+
+    /// Commits the swap of positions `a` and `b` into the base order.
+    pub fn commit_swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let area = self.span_walk(lo, hi + 1, &SpanMove::Swap { lo, hi }, true, false);
+        self.area = area;
+        self.base.swap(a, b);
+        self.refresh_positions(lo, hi + 1);
+    }
+
+    /// Commits the relocation of the element at `from` to position `to`.
+    pub fn commit_shift(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
+        let area = self.span_walk(lo, hi + 1, &SpanMove::Shift { from, to }, true, false);
+        self.area = area;
+        self.base.relocate(from, to);
+        self.refresh_positions(lo, hi + 1);
+    }
+
+    /// Commits a span replacement (see [`DeltaEvaluator::evaluate_span`]).
+    pub fn commit_span(&mut self, a: usize, span: &[IndexId]) {
+        debug_assert!(self.span_is_permutation(a, span));
+        if span.is_empty() {
+            return;
+        }
+        let b = a + span.len();
+        let area = self.span_walk(a, b, &SpanMove::Slice(span), true, false);
+        self.area = area;
+        self.base.replace_span(a, span);
+        self.refresh_positions(a, b);
+    }
+
+    /// Replaces the whole base order, walking only the differing window.
+    pub fn commit_order(&mut self, order: Deployment) {
+        let (a, b) = self.diff_window(&order);
+        if a == b {
+            self.base = order;
+            return;
+        }
+        let area = self.span_walk(a, b, &SpanMove::Order(&order), true, false);
+        self.area = area;
+        self.base = order;
+        self.refresh_positions(a, b);
+    }
+
+    /// Longest-common-prefix / suffix window `[a, b)` where `order` differs
+    /// from the base.
+    fn diff_window(&self, order: &Deployment) -> (usize, usize) {
+        let n = self.base.len();
+        debug_assert_eq!(order.len(), n);
+        let mut a = 0;
+        while a < n && order.at(a) == self.base.at(a) {
+            a += 1;
+        }
+        let mut b = n;
+        while b > a && order.at(b - 1) == self.base.at(b - 1) {
+            b -= 1;
+        }
+        (a, b)
+    }
+
+    fn refresh_positions(&mut self, a: usize, b: usize) {
+        for p in a..b {
+            self.positions[self.base.at(p).raw()] = p as u32;
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn span_is_permutation(&self, a: usize, span: &[IndexId]) -> bool {
+        let mut old: Vec<usize> = (a..a + span.len()).map(|p| self.base.at(p).raw()).collect();
+        let mut new: Vec<usize> = span.iter().map(|i| i.raw()).collect();
+        old.sort_unstable();
+        new.sort_unstable();
+        old == new
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn span_is_permutation(&self, _a: usize, _span: &[IndexId]) -> bool {
+        true
+    }
+
+    /// Scores (and on `commit`, applies) the rewrite of positions `[a, b)`
+    /// described by `mv`, returning the canonical area of the moved order.
+    ///
+    /// `fresh` marks the from-scratch rebuild of [`DeltaEvaluator::set_base`]
+    /// (there are no old span terms to subtract, and stored per-position
+    /// state is stale rather than authoritative).
+    fn span_walk(
+        &mut self,
+        a: usize,
+        b: usize,
+        mv: &SpanMove<'_>,
+        commit: bool,
+        fresh: bool,
+    ) -> f64 {
+        self.stamp += 1;
+        let stamp = self.stamp;
+
+        // New positions of the span's elements, for prefix-membership tests.
+        for p in a..b {
+            let x = mv.elem(&self.base, a, p);
+            self.new_pos[x] = p as u32;
+            self.new_pos_stamp[x] = stamp;
+        }
+
+        // Patch the exact area: remove the span's old terms...
+        self.scratch_area.assign_from(&self.area_acc);
+        if !fresh {
+            for p in a..b {
+                self.scratch_area
+                    .sub_prod(self.runtime_at[p], self.cost_at[p]);
+            }
+        }
+
+        // ...and walk the new span ordering, adding its terms.
+        self.scratch_runtime.assign_from(&self.runtime_accs[a]);
+        let mut runtime = self.runtime_at[a];
+        for p in a..b {
+            let x = mv.elem(&self.base, a, p);
+
+            // Effective build cost against the set built before `p` — the
+            // same `max` fold as `ProblemInstance::effective_build_cost`.
+            let (helper_ids, helper_savings) = self.soa.helpers(x);
+            let mut best_saving = 0.0_f64;
+            for (k, &h) in helper_ids.iter().enumerate() {
+                let hpos = if self.new_pos_stamp[h as usize] == stamp {
+                    self.new_pos[h as usize]
+                } else {
+                    self.positions[h as usize]
+                };
+                if (hpos as usize) < p {
+                    best_saving = best_saving.max(helper_savings[k]);
+                }
+            }
+            let cost = self.soa.creation_cost(x) - best_saving;
+            self.scratch_area.add_prod(runtime, cost);
+            if commit {
+                self.cost_at[p] = cost;
+            }
+
+            // Newly available plans drop the runtime level.
+            let mut changed = false;
+            for &plan in self.soa.plans_using(x) {
+                let pl = plan as usize;
+                if self.missing_stamp[pl] != stamp {
+                    self.missing_stamp[pl] = stamp;
+                    // Members built before the span are not missing; members
+                    // at `>= b` keep the plan incomplete for the whole walk.
+                    let mut missing = 0u32;
+                    for &m in self.soa.members(pl) {
+                        if self.positions[m as usize] as usize >= a {
+                            missing += 1;
+                        }
+                    }
+                    self.scratch_missing[pl] = missing;
+                }
+                self.scratch_missing[pl] -= 1;
+                if self.scratch_missing[pl] == 0 {
+                    if commit {
+                        self.complete_at[pl] = (p + 1) as u32;
+                    }
+                    let q = self.soa.query_of(pl);
+                    if self.best_stamp[q] != stamp {
+                        self.best_stamp[q] = stamp;
+                        // Best speed-up among plans completed strictly
+                        // before the span (positions `< a` are unchanged by
+                        // the move, so the base's completion positions are
+                        // authoritative there).
+                        let mut best = 0.0_f64;
+                        for &qp in self.soa.plans_of_query(q) {
+                            if (self.complete_at[qp as usize] as usize) <= a {
+                                best = best.max(self.soa.speedup(qp as usize));
+                            }
+                        }
+                        self.scratch_best[q] = best;
+                    }
+                    let s = self.soa.speedup(pl);
+                    if s > self.scratch_best[q] {
+                        self.scratch_runtime.add(self.scratch_best[q]);
+                        self.scratch_runtime.sub(s);
+                        self.scratch_best[q] = s;
+                        changed = true;
+                    }
+                }
+            }
+            if changed {
+                runtime = self.scratch_runtime.value();
+            }
+            if commit {
+                self.runtime_at[p + 1] = runtime;
+                self.runtime_accs[p + 1].assign_from(&self.scratch_runtime);
+            }
+        }
+
+        // The built set after `b` builds is move-invariant, so the walk must
+        // land exactly on the stored level — the splice is seamless.
+        debug_assert!(
+            fresh || runtime.to_bits() == self.runtime_at[b].to_bits(),
+            "span walk diverged from the base runtime level at {b}"
+        );
+
+        let area = self.scratch_area.value();
+        if commit {
+            self.area_acc.assign_from(&self.scratch_area);
+        }
+        area
+    }
+}
+
+/// Incremental evaluator for local search over a *base* deployment order.
+///
+/// Since the delta-evaluation rework this is a thin wrapper over
+/// [`DeltaEvaluator`] kept for call-site compatibility: moves cost
+/// `O(span)` instead of `O(suffix)`, and committing no longer clones
+/// per-position state checkpoints.
+#[derive(Debug, Clone)]
+pub struct PrefixEvaluator<'a> {
+    inner: DeltaEvaluator<'a>,
+}
+
+impl<'a> PrefixEvaluator<'a> {
+    /// Creates an incremental evaluator with the given base order.
+    pub fn new(instance: &'a ProblemInstance, base: Deployment) -> Self {
+        Self {
+            inner: DeltaEvaluator::new(instance, base),
+        }
+    }
+
+    /// The underlying full evaluator.
+    pub fn evaluator(&self) -> &ObjectiveEvaluator<'a> {
+        self.inner.evaluator()
+    }
+
+    /// The current base order.
+    pub fn base(&self) -> &Deployment {
+        self.inner.base()
+    }
+
+    /// The objective area of the current base order.
+    pub fn base_area(&self) -> f64 {
+        self.inner.base_area()
+    }
+
+    /// Replaces the base order and rebuilds the per-position state.
+    pub fn set_base(&mut self, base: Deployment) {
+        self.inner.set_base(base);
+    }
+
+    /// Evaluates the area of `order`, walking only the window where it
+    /// differs from the base order.
+    pub fn evaluate_order(&mut self, order: &Deployment) -> f64 {
+        self.inner.evaluate_order(order)
+    }
+
+    /// Evaluates the area of the base order with positions `a` and `b`
+    /// swapped, without materializing the swapped order.
+    pub fn evaluate_swap(&mut self, a: usize, b: usize) -> f64 {
+        self.inner.evaluate_swap(a, b)
+    }
+
+    /// Applies a swap to the base order.
+    pub fn commit_swap(&mut self, a: usize, b: usize) {
+        self.inner.commit_swap(a, b);
+    }
+
     /// Replaces the whole base order (alias of [`PrefixEvaluator::set_base`]
     /// kept for readability at call sites that accept arbitrary moves).
     pub fn commit_order(&mut self, order: Deployment) {
-        self.set_base(order);
+        self.inner.commit_order(order);
     }
 }
 
@@ -779,7 +1330,7 @@ mod tests {
         let inst = competing_example();
         let eval = ObjectiveEvaluator::new(&inst);
         let base = Deployment::from_raw([0, 1]);
-        let pe = PrefixEvaluator::new(&inst, base.clone());
+        let mut pe = PrefixEvaluator::new(&inst, base.clone());
         assert_eq!(pe.base_area(), eval.evaluate_area(&base));
         let swapped = base.with_swap(0, 1);
         assert_eq!(pe.evaluate_swap(0, 1), eval.evaluate_area(&swapped));
@@ -834,16 +1385,190 @@ mod tests {
         let inst = b.build().unwrap();
         let eval = ObjectiveEvaluator::new(&inst);
         let base = Deployment::identity(n);
-        let pe = PrefixEvaluator::new(&inst, base.clone());
+        let mut pe = PrefixEvaluator::new(&inst, base.clone());
         for a in 0..n {
             for bpos in (a + 1)..n {
                 let full = eval.evaluate_area(&base.with_swap(a, bpos));
                 let fast = pe.evaluate_swap(a, bpos);
-                assert!(
-                    (full - fast).abs() < 1e-9,
+                assert_eq!(
+                    full.to_bits(),
+                    fast.to_bits(),
                     "swap ({a},{bpos}): {full} vs {fast}"
                 );
             }
+        }
+    }
+
+    /// A deterministic 12-index instance with interactions, multi-index
+    /// plans and helper chains — rich enough to exercise every delta path.
+    fn delta_instance(seed: u64) -> ProblemInstance {
+        let mut b = ProblemInstance::builder("delta");
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 12;
+        for _ in 0..n {
+            b.add_index(1.0 + next() * 9.0);
+        }
+        for q in 0..8 {
+            let runtime = 30.0 + next() * 70.0;
+            let qid = b.add_query(runtime);
+            let mut seen: Vec<Vec<usize>> = Vec::new();
+            for _ in 0..4 {
+                let w = 1 + (next() * 3.0) as usize;
+                let mut ms: Vec<usize> = (0..w)
+                    .map(|k| ((q * 5 + k * 3) + (next() * n as f64) as usize) % n)
+                    .collect();
+                ms.sort_unstable();
+                ms.dedup();
+                if seen.contains(&ms) {
+                    continue;
+                }
+                seen.push(ms.clone());
+                let speedup = (next() * runtime * 0.4).min(runtime * 0.9);
+                b.add_plan(qid, ms.into_iter().map(IndexId::new).collect(), speedup);
+            }
+        }
+        for t in 0..n {
+            for h in 0..n {
+                if t != h && next() < 0.2 {
+                    b.add_build_interaction(IndexId::new(t), IndexId::new(h), next() * 0.8 + 0.05);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn delta_swap_is_bit_identical_to_full_evaluation() {
+        for seed in 0..4 {
+            let inst = delta_instance(seed);
+            let n = inst.num_indexes();
+            let eval = ObjectiveEvaluator::new(&inst);
+            let base = Deployment::identity(n);
+            let mut de = DeltaEvaluator::new(&inst, base.clone());
+            assert_eq!(
+                de.base_area().to_bits(),
+                eval.evaluate_area(&base).to_bits()
+            );
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let full = eval.evaluate_area(&base.with_swap(a, b));
+                    let fast = de.evaluate_swap(a, b);
+                    assert_eq!(full.to_bits(), fast.to_bits(), "swap ({a},{b}) seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_shift_is_bit_identical_to_full_evaluation() {
+        let inst = delta_instance(7);
+        let n = inst.num_indexes();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let base = Deployment::identity(n);
+        let mut de = DeltaEvaluator::new(&inst, base.clone());
+        for from in 0..n {
+            for to in 0..n {
+                let mut moved = base.clone();
+                moved.relocate(from, to);
+                let full = eval.evaluate_area(&moved);
+                let fast = de.evaluate_shift(from, to);
+                assert_eq!(full.to_bits(), fast.to_bits(), "shift ({from},{to})");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_commit_chain_tracks_full_evaluation() {
+        let inst = delta_instance(3);
+        let n = inst.num_indexes();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let mut order = Deployment::identity(n);
+        let mut de = DeltaEvaluator::new(&inst, order.clone());
+        // Interleave swap / shift / span commits and re-verify the base
+        // area (and a probe move) after every commit.
+        let moves: [(usize, usize, u8); 6] = [
+            (0, 1, 0),
+            (3, 9, 0),
+            (10, 2, 1),
+            (5, 8, 1),
+            (2, 6, 2),
+            (0, 11, 0),
+        ];
+        for &(x, y, kind) in &moves {
+            match kind {
+                0 => {
+                    de.commit_swap(x, y);
+                    order.swap(x, y);
+                }
+                1 => {
+                    de.commit_shift(x, y);
+                    order.relocate(x, y);
+                }
+                _ => {
+                    // Reverse the span [x, y) — a Slice commit.
+                    let mut span: Vec<IndexId> = (x..y).map(|p| order.at(p)).collect();
+                    span.reverse();
+                    de.commit_span(x, &span);
+                    order.replace_span(x, &span);
+                }
+            }
+            assert_eq!(de.base().order(), order.order(), "order after commit");
+            let full = eval.evaluate_area(&order);
+            assert_eq!(
+                de.base_area().to_bits(),
+                full.to_bits(),
+                "area after commit"
+            );
+            // No stale caches: a probe evaluation still agrees.
+            let probe = eval.evaluate_area(&order.with_swap(1, n - 2));
+            assert_eq!(de.evaluate_swap(1, n - 2).to_bits(), probe.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_evaluate_order_walks_only_the_differing_window() {
+        let inst = delta_instance(5);
+        let n = inst.num_indexes();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let base = Deployment::identity(n);
+        let mut de = DeltaEvaluator::new(&inst, base.clone());
+        // Same order: no walk at all.
+        assert_eq!(de.evaluate_order(&base).to_bits(), de.base_area().to_bits());
+        // A mid-order rotation.
+        let mut moved = base.clone();
+        moved.relocate(4, 8);
+        assert_eq!(
+            de.evaluate_order(&moved).to_bits(),
+            eval.evaluate_area(&moved).to_bits()
+        );
+        de.commit_order(moved.clone());
+        assert_eq!(de.base().order(), moved.order());
+        assert_eq!(
+            de.base_area().to_bits(),
+            eval.evaluate_area(&moved).to_bits()
+        );
+    }
+
+    #[test]
+    fn delta_agrees_with_suffix_replay_reference() {
+        let inst = delta_instance(11);
+        let n = inst.num_indexes();
+        let base = Deployment::identity(n);
+        let reference = SuffixReplayEvaluator::new(&inst, base.clone());
+        let mut de = DeltaEvaluator::new(&inst, base);
+        assert_eq!(reference.base_area().to_bits(), de.base_area().to_bits());
+        for a in 0..n - 1 {
+            assert_eq!(
+                reference.evaluate_swap(a, a + 1).to_bits(),
+                de.evaluate_swap(a, a + 1).to_bits(),
+                "adjacent swap at {a}"
+            );
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Convenience re-exports of the most commonly used core types.
 
+pub use crate::accsum::ExactSum;
 pub use crate::curve::{CurvePoint, ImprovementCurve};
 pub use crate::error::{CoreError, Result as CoreResult};
 pub use crate::evolution::{
@@ -9,9 +10,10 @@ pub use crate::evolution::{
 pub use crate::index::IndexMeta;
 pub use crate::instance::{InstanceBuilder, ProblemInstance};
 pub use crate::interaction::{BuildInteraction, Precedence};
-pub use crate::matrix::MatrixFile;
+pub use crate::matrix::{MatrixFile, SoaView};
 pub use crate::objective::{
-    ObjectiveEvaluator, ObjectiveStepper, ObjectiveValue, PrefixEvaluator, StepMetrics,
+    DeltaEvaluator, ObjectiveEvaluator, ObjectiveStepper, ObjectiveValue, PrefixEvaluator,
+    StepMetrics, SuffixReplayEvaluator,
 };
 pub use crate::plan::QueryPlan;
 pub use crate::query::QueryMeta;

@@ -1,0 +1,376 @@
+//! Bit-for-bit equivalence wall for the incremental evaluators.
+//!
+//! Every delta-scored move must reproduce `ObjectiveEvaluator::evaluate`
+//! exactly — not within a tolerance, but to the last bit (`f64::to_bits`).
+//! That is what makes the local-search hot paths safe: an incremental area
+//! that drifted by even one ulp would make accept/reject decisions diverge
+//! from the from-scratch evaluator and break the solver differential
+//! oracles downstream.
+//!
+//! The properties cover the move kinds the solvers actually issue:
+//!
+//! * adjacent and non-adjacent pair swaps (tabu best/first-swap scans),
+//! * relocations (VNS shift descent, LNS greedy repair),
+//! * span rewrites (LNS destroy-repair windows),
+//! * whole-order replacement (cooperative warm-start adoption),
+//! * long random sequences interleaving evaluations with commits, which
+//!   would expose any stale per-position cache left behind by `commit_*`.
+
+use idd_core::{
+    DeltaEvaluator, Deployment, IndexId, InstanceBuilder, ObjectiveEvaluator, PrefixEvaluator,
+    ProblemInstance, SuffixReplayEvaluator,
+};
+use proptest::prelude::*;
+
+/// A random consistent problem instance with up to `max_indexes` indexes.
+fn arb_instance(max_indexes: usize) -> impl Strategy<Value = ProblemInstance> {
+    (2..=max_indexes).prop_flat_map(move |n| {
+        let costs = proptest::collection::vec(1.0f64..20.0, n);
+        let queries = proptest::collection::vec(
+            (
+                20.0f64..200.0,
+                proptest::collection::vec(
+                    (proptest::collection::vec(0..n, 1..=3.min(n)), 0.05f64..0.9),
+                    1..=4,
+                ),
+            ),
+            1..=6,
+        );
+        let interactions = proptest::collection::vec((0..n, 0..n, 0.05f64..0.8), 0..=4);
+        (costs, queries, interactions).prop_map(move |(costs, queries, interactions)| {
+            let mut b = InstanceBuilder::new("delta-equivalence");
+            for c in &costs {
+                b.add_index(*c);
+            }
+            for (runtime, plans) in queries {
+                let q = b.add_query(runtime);
+                for (members, fraction) in plans {
+                    let ids: Vec<IndexId> = members.into_iter().map(IndexId::new).collect();
+                    b.add_plan(q, ids, runtime * fraction);
+                }
+            }
+            for (target, helper, fraction) in interactions {
+                if target != helper {
+                    let saving = costs[target] * fraction;
+                    b.add_build_interaction(IndexId::new(target), IndexId::new(helper), saving);
+                }
+            }
+            b.build().expect("generated instance is consistent")
+        })
+    })
+}
+
+/// An instance plus a random base permutation of its indexes.
+fn arb_instance_and_base(
+    max_indexes: usize,
+) -> impl Strategy<Value = (ProblemInstance, Deployment)> {
+    arb_instance(max_indexes).prop_flat_map(|inst| {
+        let n = inst.num_indexes();
+        (
+            Just(inst),
+            Just(()).prop_perturb(move |_, mut rng| {
+                let mut order: Vec<usize> = (0..n).collect();
+                for i in (1..n).rev() {
+                    let j = (rng.next_u64() as usize) % (i + 1);
+                    order.swap(i, j);
+                }
+                Deployment::from_raw(order)
+            }),
+        )
+    })
+}
+
+/// One move in a generated local-search episode.
+#[derive(Debug, Clone)]
+enum Move {
+    /// Swap positions `a` and `b` (`a == b` allowed: the identity move).
+    Swap { a: usize, b: usize, commit: bool },
+    /// Relocate position `from` to `to`.
+    Shift {
+        from: usize,
+        to: usize,
+        commit: bool,
+    },
+    /// Reverse the window `[at, at + len)` — a span rewrite.
+    Reverse { at: usize, len: usize, commit: bool },
+    /// Replace the whole base with a freshly shuffled order.
+    Reseed { seed: u64 },
+}
+
+/// A random episode of up to `max_len` moves over an `n`-position order.
+/// Adjacent swaps are over-weighted: they are the O(1) fast path and the
+/// most common move the tabu scans issue.
+fn arb_moves(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Move>> {
+    (1..=max_len).prop_perturb(move |len, mut rng| {
+        (0..len)
+            .map(|_| {
+                let commit = rng.next_u64() & 1 == 0;
+                let pos = |rng: &mut proptest::TestRng| rng.below(n as u64) as usize;
+                match rng.below(10) {
+                    0..=3 => {
+                        // Adjacent swap.
+                        let a = rng.below(n.saturating_sub(1).max(1) as u64) as usize;
+                        Move::Swap {
+                            a,
+                            b: (a + 1).min(n - 1),
+                            commit,
+                        }
+                    }
+                    4..=5 => Move::Swap {
+                        a: pos(&mut rng),
+                        b: pos(&mut rng),
+                        commit,
+                    },
+                    6..=7 => Move::Shift {
+                        from: pos(&mut rng),
+                        to: pos(&mut rng),
+                        commit,
+                    },
+                    8 => {
+                        let at = pos(&mut rng);
+                        let len = 2 + rng.below(4) as usize;
+                        Move::Reverse {
+                            at,
+                            len: len.min(n - at),
+                            commit,
+                        }
+                    }
+                    _ => Move::Reseed {
+                        seed: rng.next_u64(),
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+fn shuffled(n: usize, seed: u64) -> Deployment {
+    // Tiny deterministic LCG shuffle; good enough for generating orders.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() as usize) % (i + 1);
+        order.swap(i, j);
+    }
+    Deployment::from_raw(order)
+}
+
+fn assert_bits(label: &str, got: f64, want: f64) {
+    assert_eq!(
+        got.to_bits(),
+        want.to_bits(),
+        "{label}: delta path produced {got:?} but the from-scratch evaluator says {want:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every pair swap — adjacent or not — reproduces the from-scratch area
+    /// bit-for-bit, and probing does not corrupt the evaluator (the same
+    /// probe repeated returns the same bits).
+    #[test]
+    fn swaps_match_full_evaluation((inst, base) in arb_instance_and_base(10)) {
+        let n = inst.num_indexes();
+        let full = ObjectiveEvaluator::new(&inst);
+        let mut delta = DeltaEvaluator::new(&inst, base.clone());
+        assert_bits("base area", delta.base_area(), full.evaluate_area(&base));
+        for a in 0..n {
+            for b in a..n {
+                let mut swapped = base.clone();
+                swapped.swap(a, b);
+                let want = full.evaluate_area(&swapped);
+                assert_bits("swap", delta.evaluate_swap(a, b), want);
+                assert_bits("swap (repeat probe)", delta.evaluate_swap(a, b), want);
+            }
+        }
+    }
+
+    /// Every relocation reproduces `Deployment::relocate` + full evaluation
+    /// bit-for-bit.
+    #[test]
+    fn shifts_match_full_evaluation((inst, base) in arb_instance_and_base(9)) {
+        let n = inst.num_indexes();
+        let full = ObjectiveEvaluator::new(&inst);
+        let mut delta = DeltaEvaluator::new(&inst, base.clone());
+        for from in 0..n {
+            for to in 0..n {
+                let mut moved = base.clone();
+                moved.relocate(from, to);
+                assert_bits("shift", delta.evaluate_shift(from, to), full.evaluate_area(&moved));
+            }
+        }
+    }
+
+    /// Span rewrites (the LNS destroy-repair shape) and whole-order
+    /// replacement agree with the from-scratch evaluator.
+    #[test]
+    fn spans_and_orders_match_full_evaluation(
+        ((inst, base), at, len, seed) in (
+            arb_instance_and_base(10),
+            0usize..10,
+            2usize..6,
+            0u64..u64::MAX,
+        )
+    ) {
+        let n = inst.num_indexes();
+        let full = ObjectiveEvaluator::new(&inst);
+        let mut delta = DeltaEvaluator::new(&inst, base.clone());
+
+        let at = at.min(n - 1);
+        let len = len.min(n - at);
+        let mut span: Vec<IndexId> = base.order()[at..at + len].to_vec();
+        span.reverse();
+        let mut rewritten = base.clone();
+        rewritten.replace_span(at, &span);
+        assert_bits("span", delta.evaluate_span(at, &span), full.evaluate_area(&rewritten));
+
+        let other = shuffled(n, seed);
+        assert_bits("order", delta.evaluate_order(&other), full.evaluate_area(&other));
+        // Probing a foreign order must not disturb the base.
+        assert_bits("base after probes", delta.base_area(), full.evaluate_area(&base));
+    }
+
+    /// Long random episodes interleaving probes with commits: after every
+    /// commit the evaluator's cached area and every subsequent probe must
+    /// still match the from-scratch evaluator. This is the stale-cache
+    /// regression wall — a `commit_*` that forgets to refresh a
+    /// per-position cache line fails here within a few moves.
+    #[test]
+    fn committed_move_sequences_stay_exact(
+        ((inst, base), moves) in (arb_instance_and_base(8), arb_moves(8, 24))
+    ) {
+        let n = inst.num_indexes();
+        let full = ObjectiveEvaluator::new(&inst);
+        let mut delta = DeltaEvaluator::new(&inst, base.clone());
+        let mut oracle = SuffixReplayEvaluator::new(&inst, base.clone());
+        let mut current = base;
+
+        for mv in moves {
+            match mv {
+                Move::Swap { a, b, commit } => {
+                    let (a, b) = (a.min(n - 1), b.min(n - 1));
+                    let mut next = current.clone();
+                    next.swap(a, b);
+                    let want = full.evaluate_area(&next);
+                    assert_bits("episode swap probe", delta.evaluate_swap(a, b), want);
+                    assert_bits("oracle swap probe", oracle.evaluate_swap(a, b), want);
+                    if commit {
+                        delta.commit_swap(a, b);
+                        oracle.commit_swap(a, b);
+                        current = next;
+                    }
+                }
+                Move::Shift { from, to, commit } => {
+                    let (from, to) = (from.min(n - 1), to.min(n - 1));
+                    let mut next = current.clone();
+                    next.relocate(from, to);
+                    let want = full.evaluate_area(&next);
+                    assert_bits("episode shift probe", delta.evaluate_shift(from, to), want);
+                    if commit {
+                        delta.commit_shift(from, to);
+                        oracle.commit_order(next.clone());
+                        current = next;
+                    }
+                }
+                Move::Reverse { at, len, commit } => {
+                    let at = at.min(n - 1);
+                    let len = len.min(n - at);
+                    let mut span: Vec<IndexId> = current.order()[at..at + len].to_vec();
+                    span.reverse();
+                    let mut next = current.clone();
+                    next.replace_span(at, &span);
+                    let want = full.evaluate_area(&next);
+                    assert_bits("episode span probe", delta.evaluate_span(at, &span), want);
+                    if commit {
+                        delta.commit_span(at, &span);
+                        oracle.commit_order(next.clone());
+                        current = next;
+                    }
+                }
+                Move::Reseed { seed } => {
+                    let next = shuffled(n, seed);
+                    let want = full.evaluate_area(&next);
+                    assert_bits("episode order probe", delta.evaluate_order(&next), want);
+                    delta.commit_order(next.clone());
+                    oracle.set_base(next.clone());
+                    current = next;
+                }
+            }
+            // The committed state must stay exact after every step.
+            let want = full.evaluate_area(&current);
+            assert_bits("episode base", delta.base_area(), want);
+            assert_bits("episode oracle base", oracle.base_area(), want);
+            prop_assert_eq!(delta.base().order(), current.order());
+        }
+    }
+
+    /// The `PrefixEvaluator` facade (now a thin wrapper over the delta
+    /// evaluator) stays bit-identical too.
+    #[test]
+    fn prefix_evaluator_facade_stays_exact(
+        ((inst, base), pairs) in (
+            arb_instance_and_base(8),
+            proptest::collection::vec((0usize..8, 0usize..8), 1..12),
+        )
+    ) {
+        let n = inst.num_indexes();
+        let full = ObjectiveEvaluator::new(&inst);
+        let mut prefix = PrefixEvaluator::new(&inst, base.clone());
+        let mut current = base;
+        for (a, b) in pairs {
+            let (a, b) = (a.min(n - 1), b.min(n - 1));
+            let mut next = current.clone();
+            next.swap(a, b);
+            let want = full.evaluate_area(&next);
+            assert_bits("prefix swap probe", prefix.evaluate_swap(a, b), want);
+            prefix.commit_swap(a, b);
+            current = next;
+            assert_bits("prefix base", prefix.base_area(), full.evaluate_area(&current));
+        }
+    }
+}
+
+/// Deterministic regression: a commit immediately followed by a probe of the
+/// *same* span exercises the freshly rewritten cache lines.
+#[test]
+fn probe_after_commit_reuses_fresh_cache() {
+    let mut b = InstanceBuilder::new("stale-cache");
+    let i: Vec<IndexId> = (0..6).map(|k| b.add_index(2.0 + k as f64)).collect();
+    for q in 0..4 {
+        let qid = b.add_query(60.0 + q as f64 * 11.0);
+        b.add_plan(qid, vec![i[q % 6]], 9.0);
+        b.add_plan(qid, vec![i[q % 6], i[(q + 2) % 6]], 21.0);
+    }
+    b.add_build_interaction(i[0], i[3], 1.25);
+    b.add_build_interaction(i[4], i[1], 0.75);
+    let inst = b.build().unwrap();
+    let full = ObjectiveEvaluator::new(&inst);
+
+    let mut delta = DeltaEvaluator::new(&inst, Deployment::identity(6));
+    delta.commit_swap(1, 2);
+    delta.commit_shift(0, 4);
+    let mut current = Deployment::identity(6);
+    current.swap(1, 2);
+    current.relocate(0, 4);
+    assert_eq!(delta.base().order(), current.order());
+    assert_eq!(
+        delta.base_area().to_bits(),
+        full.evaluate_area(&current).to_bits()
+    );
+    // Re-probe the exact span the commits touched.
+    for a in 0..5 {
+        let mut swapped = current.clone();
+        swapped.swap(a, a + 1);
+        assert_eq!(
+            delta.evaluate_swap(a, a + 1).to_bits(),
+            full.evaluate_area(&swapped).to_bits()
+        );
+    }
+}

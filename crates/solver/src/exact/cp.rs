@@ -246,11 +246,22 @@ impl CpSolver {
 
         if state.is_complete() {
             if state.area() < ctx.best_area {
-                ctx.best_area = state.area();
-                ctx.best_order = Some(order.clone());
-                ctx.trajectory
-                    .record(ctx.clock.elapsed_seconds(), state.area());
-                ctx.shared.publish_deployment(state.area(), order);
+                // Canonicalize before recording: the search state keeps a
+                // naive running sum (fine for bounding), but published and
+                // returned objectives must carry the canonical evaluator's
+                // bits — cooperating members compare foreign incumbents
+                // against their own canonical areas at ulp-level
+                // tolerances. The naive comparison above is a cheap
+                // pre-filter; improvements are rare enough that the O(n)
+                // re-evaluation is free.
+                let area = idd_core::ObjectiveEvaluator::new(ctx.instance)
+                    .evaluate_area(&Deployment::new(order.clone()));
+                if area < ctx.best_area {
+                    ctx.best_area = area;
+                    ctx.best_order = Some(order.clone());
+                    ctx.trajectory.record(ctx.clock.elapsed_seconds(), area);
+                    ctx.shared.publish_deployment(area, order);
+                }
             }
             return;
         }

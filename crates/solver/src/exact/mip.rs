@@ -195,7 +195,11 @@ impl MipSolver {
                     best_area = node.area;
                     best_order = Some(node.order.clone());
                     trajectory.record(clock.elapsed_seconds(), node.area);
-                    ctx.publish_deployment(node.area, &node.order);
+                    // Publish the canonical (unquantized) area: shared-best
+                    // consumers compare incumbents at ulp-level tolerances,
+                    // so quantized node sums must not leak off this solver.
+                    let canonical = evaluator.evaluate_area(&Deployment::new(node.order.clone()));
+                    ctx.publish_deployment(canonical, &node.order);
                 }
                 continue;
             }

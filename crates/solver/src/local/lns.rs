@@ -19,11 +19,11 @@ use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::greedy::GreedySolver;
-use crate::local::{reinsert, sanitize_hint, Cooperator};
+use crate::local::{reinsert, sanitize_hint, shift_is_feasible, Cooperator};
 use crate::properties::{self, AnalysisOptions};
 use crate::result::{SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
-use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
+use idd_core::{DeltaEvaluator, Deployment, IndexId, ProblemInstance};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -48,6 +48,12 @@ pub struct LnsConfig {
     /// [`crate::local::derived_stall_iterations`]; `Some(n)` overrides it.
     /// Ignored outside cooperative portfolio runs.
     pub stall_iterations: Option<u64>,
+    /// When the CP reinsertion search hits its failure limit without finding
+    /// an improvement, try a cheap greedy repair instead of discarding the
+    /// destroy set: relocate each destroyed index to its best position,
+    /// with every candidate insertion scored by the delta evaluator
+    /// (O(|from - to|) per probe instead of a full re-evaluation).
+    pub delta_repair: bool,
 }
 
 impl Default for LnsConfig {
@@ -59,6 +65,7 @@ impl Default for LnsConfig {
             seed: 0x1A5,
             analysis: AnalysisOptions::none(),
             stall_iterations: None,
+            delta_repair: true,
         }
     }
 }
@@ -102,12 +109,14 @@ impl LnsSolver {
         let analysis = properties::analyze(instance, self.config.analysis);
         let constraints: &OrderConstraints = &analysis.constraints;
         let bound = LowerBound::new(instance);
-        let evaluator = ObjectiveEvaluator::new(instance);
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut clock = self.config.budget.start_cancellable(ctx.cancel_token());
 
+        // Canonicalizes every objective this member publishes and scores the
+        // greedy-repair insertions below.
+        let mut delta = DeltaEvaluator::new(instance, initial.clone());
         let mut current = initial;
-        let mut current_area = evaluator.evaluate_area(&current);
+        let mut current_area = delta.base_area();
         let mut trajectory = Trajectory::new();
         trajectory.record(clock.elapsed_seconds(), current_area);
         ctx.publish(current_area);
@@ -129,7 +138,10 @@ impl LnsSolver {
             // best deployment instead of grinding on our own local optimum.
             if let Some(snapshot) = coop.stalled_adoption(ctx, current_area, constraints) {
                 current = Deployment::new(snapshot.order);
-                current_area = snapshot.objective;
+                delta.set_base(current.clone());
+                // Re-derive canonically: the publisher may have computed the
+                // objective with different (naive) arithmetic.
+                current_area = delta.base_area();
                 trajectory.record(clock.elapsed_seconds(), current_area);
             }
 
@@ -175,7 +187,14 @@ impl LnsSolver {
             );
             if let Some(order) = result.order {
                 current = Deployment::new(order);
-                current_area = result.area;
+                delta.set_base(current.clone());
+                // The reinsertion search's running sum is naive; publish the
+                // canonical evaluation instead.
+                current_area = delta.base_area();
+                debug_assert!(
+                    (result.area - current_area).abs() <= 1e-6 * current_area.abs().max(1.0),
+                    "naive reinsertion sum drifted from the canonical area"
+                );
                 trajectory.record(clock.elapsed_seconds(), current_area);
                 ctx.publish_deployment(current_area, current.order());
                 if coop.policy().steals() {
@@ -184,6 +203,52 @@ impl LnsSolver {
                     coop.stats.hints_published += 1;
                 }
                 coop.note_improvement();
+            } else if self.config.delta_repair && !result.proved && !clock.exhausted() {
+                // The CP search hit its failure limit before exhausting the
+                // neighbourhood. Salvage the destroy set with a greedy
+                // repair: relocate each destroyed index to its best
+                // position, every candidate scored on the delta path.
+                delta.set_base(current.clone());
+                let mut area = current_area;
+                for &r in &relaxed {
+                    let from = delta
+                        .base()
+                        .order()
+                        .iter()
+                        .position(|&i| i == r)
+                        .expect("destroy set is drawn from the current order");
+                    let mut best: Option<(usize, f64)> = None;
+                    for to in 0..n {
+                        if to == from
+                            || !shift_is_feasible(constraints, delta.base().order(), from, to)
+                        {
+                            continue;
+                        }
+                        let candidate = delta.evaluate_shift(from, to);
+                        if candidate < area - 1e-12
+                            && best.map(|(_, v)| candidate < v).unwrap_or(true)
+                        {
+                            best = Some((to, candidate));
+                        }
+                    }
+                    if let Some((to, v)) = best {
+                        delta.commit_shift(from, to);
+                        area = v;
+                    }
+                }
+                if area < current_area - 1e-12 {
+                    current = delta.base().clone();
+                    current_area = area;
+                    trajectory.record(clock.elapsed_seconds(), current_area);
+                    ctx.publish_deployment(current_area, current.order());
+                    if coop.policy().steals() {
+                        ctx.hints().push(relaxed);
+                        coop.stats.hints_published += 1;
+                    }
+                    coop.note_improvement();
+                } else {
+                    coop.note_no_improvement();
+                }
             } else {
                 coop.note_no_improvement();
             }
@@ -225,6 +290,7 @@ impl Solver for LnsSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use idd_core::ObjectiveEvaluator;
 
     fn instance() -> ProblemInstance {
         let mut b = ProblemInstance::builder("lns");

@@ -305,6 +305,35 @@ pub(crate) fn swap_is_feasible(
     true
 }
 
+/// Checks whether relocating the index at `from` to position `to` (the
+/// [`Deployment::relocate`](idd_core::Deployment) move scored by
+/// [`DeltaEvaluator::evaluate_shift`](idd_core::DeltaEvaluator)) keeps the
+/// order feasible under the precedence closure.
+pub(crate) fn shift_is_feasible(
+    constraints: &OrderConstraints,
+    order: &[IndexId],
+    from: usize,
+    to: usize,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    let moved = order[from];
+    if from < to {
+        // `moved` jumps after order[from+1 ..= to]: it must not be required
+        // before any of them.
+        order[from + 1..=to]
+            .iter()
+            .all(|&other| !constraints.must_precede(moved, other))
+    } else {
+        // `moved` jumps before order[to .. from]: none of them may be
+        // required before it.
+        order[to..from]
+            .iter()
+            .all(|&other| !constraints.must_precede(other, moved))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,5 +452,47 @@ mod tests {
         assert!(!swap_is_feasible(&constraints, &order, 0, 2)); // i2 before i0: no
         assert!(swap_is_feasible(&constraints, &order, 0, 1)); // i1 before i0: fine
         assert!(swap_is_feasible(&constraints, &order, 1, 1));
+    }
+
+    #[test]
+    fn shift_feasibility_respects_precedences() {
+        let mut b = ProblemInstance::builder("shift");
+        let i0 = b.add_index(1.0);
+        let i1 = b.add_index(1.0);
+        let i2 = b.add_index(1.0);
+        let i3 = b.add_index(1.0);
+        let q = b.add_query(10.0);
+        b.add_plan(q, vec![i0], 1.0);
+        b.add_precedence(i0, i2);
+        let inst = b.build().unwrap();
+        let constraints = OrderConstraints::from_instance(&inst);
+        let order = vec![i0, i1, i2, i3];
+        // Forward: i0 may slide to 1 (past i1) but not past its dependent i2.
+        assert!(shift_is_feasible(&constraints, &order, 0, 1));
+        assert!(!shift_is_feasible(&constraints, &order, 0, 2));
+        assert!(!shift_is_feasible(&constraints, &order, 0, 3));
+        // Backward: i2 may not move before its prerequisite i0; i3 may move
+        // anywhere (it is unconstrained).
+        assert!(shift_is_feasible(&constraints, &order, 2, 1));
+        assert!(!shift_is_feasible(&constraints, &order, 2, 0));
+        assert!(shift_is_feasible(&constraints, &order, 3, 0));
+        assert!(shift_is_feasible(&constraints, &order, 1, 1));
+        // Every feasible shift matches the brute-force relocate check.
+        let eval_order = Deployment::new(order.clone());
+        for from in 0..4 {
+            for to in 0..4 {
+                let relocated = {
+                    let mut d = eval_order.clone();
+                    d.relocate(from, to);
+                    d
+                };
+                let expected = constraints.is_satisfied_by(relocated.order());
+                assert_eq!(
+                    shift_is_feasible(&constraints, &order, from, to),
+                    expected,
+                    "shift {from}->{to}"
+                );
+            }
+        }
     }
 }

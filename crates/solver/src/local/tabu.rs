@@ -26,7 +26,7 @@ use crate::greedy::GreedySolver;
 use crate::local::{swap_is_feasible, Cooperator};
 use crate::result::{SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
-use idd_core::{Deployment, PrefixEvaluator, ProblemInstance};
+use idd_core::{DeltaEvaluator, Deployment, ProblemInstance};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -111,7 +111,11 @@ impl TabuSolver {
         let mut clock = self.config.budget.start_cancellable(ctx.cancel_token());
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
 
-        let mut evaluator = PrefixEvaluator::new(instance, initial.clone());
+        // Best-swap scans are the delta evaluator's home turf: every
+        // adjacent pair is O(1) and a general pair is O(hi - lo), so one
+        // full scan costs O(n²) *positions touched*, not O(n²) evaluations
+        // of O(n) each.
+        let mut evaluator = DeltaEvaluator::new(instance, initial.clone());
         let mut best_order = initial;
         let mut best_area = evaluator.base_area();
         let mut trajectory = Trajectory::new();
@@ -141,8 +145,10 @@ impl TabuSolver {
             // abandoned walk, so it is cleared alongside.
             if let Some(snapshot) = coop.stalled_adoption(ctx, best_area, &constraints) {
                 best_order = Deployment::new(snapshot.order);
-                best_area = snapshot.objective;
-                evaluator = PrefixEvaluator::new(instance, best_order.clone());
+                evaluator.set_base(best_order.clone());
+                // Re-derive canonically: the publisher may have computed the
+                // objective with different (naive) arithmetic.
+                best_area = evaluator.base_area();
                 tabu_until.iter_mut().for_each(|t| *t = 0);
                 trajectory.record(clock.elapsed_seconds(), best_area);
             }

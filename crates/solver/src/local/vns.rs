@@ -21,11 +21,11 @@ use crate::budget::SearchBudget;
 use crate::constraints::OrderConstraints;
 use crate::exact::bounds::LowerBound;
 use crate::greedy::GreedySolver;
-use crate::local::{reinsert, Cooperator};
+use crate::local::{reinsert, shift_is_feasible, Cooperator};
 use crate::properties::{self, AnalysisOptions};
 use crate::result::{SolveOutcome, SolveResult};
 use crate::solver::{SolveContext, Solver};
-use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
+use idd_core::{DeltaEvaluator, Deployment, IndexId, ProblemInstance};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -57,6 +57,14 @@ pub struct VnsConfig {
     /// [`crate::local::derived_stall_iterations`]; `Some(n)` overrides it.
     /// Ignored outside cooperative portfolio runs.
     pub stall_iterations: Option<u64>,
+    /// Polish each accepted reinsertion with a bounded-radius shift descent
+    /// on the delta evaluator (first-improvement relocations within
+    /// `shift_radius` positions, O(radius) per probe). The CP reinsertion
+    /// search explores *subset* neighbourhoods; this cheap pass catches the
+    /// orthogonal "one index sits a few slots off" improvements.
+    pub shift_descent: bool,
+    /// How far a shift-descent relocation may move an index.
+    pub shift_radius: usize,
 }
 
 impl Default for VnsConfig {
@@ -72,6 +80,8 @@ impl Default for VnsConfig {
             seed: 0x7145,
             analysis: AnalysisOptions::none(),
             stall_iterations: None,
+            shift_descent: true,
+            shift_radius: 8,
         }
     }
 }
@@ -115,12 +125,14 @@ impl VnsSolver {
         let analysis = properties::analyze(instance, self.config.analysis);
         let constraints: &OrderConstraints = &analysis.constraints;
         let bound = LowerBound::new(instance);
-        let evaluator = ObjectiveEvaluator::new(instance);
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut clock = self.config.budget.start_cancellable(ctx.cancel_token());
 
+        // The delta evaluator both canonicalizes every objective this member
+        // publishes and powers the shift-descent polish below.
+        let mut delta = DeltaEvaluator::new(instance, initial.clone());
         let mut current = initial;
-        let mut current_area = evaluator.evaluate_area(&current);
+        let mut current_area = delta.base_area();
         let mut trajectory = Trajectory::new();
         trajectory.record(clock.elapsed_seconds(), current_area);
         ctx.publish(current_area);
@@ -145,7 +157,10 @@ impl VnsSolver {
             // best deployment instead of grinding on our own local optimum.
             if let Some(snapshot) = coop.stalled_adoption(ctx, current_area, constraints) {
                 current = Deployment::new(snapshot.order);
-                current_area = snapshot.objective;
+                delta.set_base(current.clone());
+                // Re-derive canonically: the publisher may have computed the
+                // objective with different (naive) arithmetic.
+                current_area = delta.base_area();
                 trajectory.record(clock.elapsed_seconds(), current_area);
             }
 
@@ -173,7 +188,55 @@ impl VnsSolver {
             );
             if let Some(order) = result.order {
                 current = Deployment::new(order);
-                current_area = result.area;
+                delta.set_base(current.clone());
+                // The reinsertion search's running sum is naive; publish the
+                // canonical evaluation instead.
+                current_area = delta.base_area();
+                debug_assert!(
+                    (result.area - current_area).abs() <= 1e-6 * current_area.abs().max(1.0),
+                    "naive reinsertion sum drifted from the canonical area"
+                );
+
+                // Polish: bounded-radius shift descent on the delta path.
+                // Each probe is O(|from - to|); each commit re-anchors the
+                // evaluator at the improved order.
+                if self.config.shift_descent && self.config.shift_radius > 0 {
+                    let radius = self.config.shift_radius;
+                    let mut improved = true;
+                    while improved && !clock.exhausted() {
+                        improved = false;
+                        for from in 0..n {
+                            let lo = from.saturating_sub(radius);
+                            let hi = (from + radius).min(n - 1);
+                            let mut best: Option<(usize, f64)> = None;
+                            for to in lo..=hi {
+                                if to == from
+                                    || !shift_is_feasible(
+                                        constraints,
+                                        delta.base().order(),
+                                        from,
+                                        to,
+                                    )
+                                {
+                                    continue;
+                                }
+                                let area = delta.evaluate_shift(from, to);
+                                if area < current_area - 1e-12
+                                    && best.map(|(_, v)| area < v).unwrap_or(true)
+                                {
+                                    best = Some((to, area));
+                                }
+                            }
+                            if let Some((to, area)) = best {
+                                delta.commit_shift(from, to);
+                                current_area = area;
+                                improved = true;
+                            }
+                        }
+                    }
+                    current = delta.base().clone();
+                }
+
                 trajectory.record(clock.elapsed_seconds(), current_area);
                 ctx.publish_deployment(current_area, current.order());
                 if coop.policy().steals() {
@@ -245,6 +308,7 @@ impl Solver for VnsSolver {
 mod tests {
     use super::*;
     use crate::local::lns::LnsSolver;
+    use idd_core::ObjectiveEvaluator;
 
     fn instance(seed: u64) -> ProblemInstance {
         let mut b = ProblemInstance::builder(format!("vns-{seed}"));

@@ -308,6 +308,10 @@ fn all_three_local_searches_restart_from_the_shared_best_on_stall() {
                 LnsSolver::with_config(LnsConfig {
                     budget: SearchBudget::nodes(10),
                     failure_limit: 0,
+                    // This test starves LNS so it *must* adopt the shared
+                    // best; the delta-repair fallback would let it improve
+                    // on its own and never stall.
+                    delta_repair: false,
                     stall_iterations: Some(2),
                     seed: 5,
                     ..LnsConfig::default()
@@ -521,7 +525,8 @@ fn stall_threshold_defaults_derive_from_the_budget() {
         ctx.publish_deployment(exact.objective, exact.deployment.as_ref().unwrap().order());
         LnsSolver::with_config(LnsConfig {
             budget,
-            failure_limit: 0, // never improves on its own: stalls constantly
+            failure_limit: 0,    // never improves on its own: stalls constantly
+            delta_repair: false, // keep it starved: no self-repair fallback
             stall_iterations: stall,
             seed: 13,
             ..LnsConfig::default()

@@ -1,0 +1,279 @@
+//! Concurrency smoke for the delta-evaluated local searches.
+//!
+//! PR 2/3 locked the portfolio down with two differential-oracle
+//! invariants: a CP-proven optimum is never beaten by a heuristic, and
+//! `CooperationPolicy::Off` races are bit-identical to standalone runs.
+//! This suite re-asserts both now that every local search (tabu best/first
+//! swap scans, VNS shift descent, LNS greedy repair) scores its moves on
+//! the incremental [`DeltaEvaluator`] path: if a delta-scored area ever
+//! drifted from the canonical evaluator, a heuristic would either publish a
+//! bogus sub-optimal "improvement" (caught against the CP bound) or return
+//! an objective whose bits disagree with its own deployment (caught by the
+//! re-evaluation check).
+
+use idd_core::IndexId;
+use idd_core::{ObjectiveEvaluator, ProblemInstance};
+use idd_solver::exact::{CpConfig, CpSolver};
+use idd_solver::local::{
+    LnsConfig, LnsSolver, SwapStrategy, TabuConfig, TabuSolver, VnsConfig, VnsSolver,
+};
+use idd_solver::{
+    CooperationPolicy, OrderConstraints, PortfolioConfig, PortfolioSolver, SearchBudget,
+    SolveResult, Solver,
+};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic instance mirroring the cooperation-suite generator: plan
+/// interactions, build interactions and a hard precedence.
+fn instance(seed: u64) -> ProblemInstance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x51_7C_C1).wrapping_add(3));
+    let n = 9;
+    let mut b = ProblemInstance::builder(format!("delta-smoke-{seed}"));
+    let idx: Vec<IndexId> = (0..n)
+        .map(|_| b.add_index(rng.gen_range(1.5..9.0)))
+        .collect();
+    for q in 0..8 {
+        let runtime = rng.gen_range(40.0..160.0);
+        let qid = b.add_query(runtime);
+        let a = idx[(q * 3) % n];
+        let c = idx[(q * 5 + 1) % n];
+        let d = idx[(q * 7 + 2) % n];
+        b.add_plan(qid, vec![a], runtime * rng.gen_range(0.08..0.2));
+        b.add_plan(qid, vec![a, c], runtime * rng.gen_range(0.2..0.35));
+        b.add_plan(qid, vec![a, c, d], runtime * rng.gen_range(0.35..0.5));
+    }
+    b.add_build_interaction(idx[2], idx[0], 0.6);
+    b.add_build_interaction(idx[5], idx[6], 0.9);
+    b.add_precedence(idx[1], idx[4]);
+    b.build().expect("smoke instance is consistent")
+}
+
+/// Every delta-path local search, all cooperation features exercised where
+/// the roster is used cooperatively.
+fn delta_roster(seed: u64) -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(TabuSolver::with_config(TabuConfig {
+            strategy: SwapStrategy::Best,
+            seed: seed ^ 0x11,
+            ..TabuConfig::default()
+        })),
+        Box::new(TabuSolver::with_config(TabuConfig {
+            strategy: SwapStrategy::First,
+            seed: seed ^ 0x22,
+            ..TabuConfig::default()
+        })),
+        Box::new(VnsSolver::with_config(VnsConfig {
+            seed: seed ^ 0x33,
+            ..VnsConfig::default()
+        })),
+        Box::new(LnsSolver::with_config(LnsConfig {
+            seed: seed ^ 0x44,
+            ..LnsConfig::default()
+        })),
+    ]
+}
+
+fn assert_result_is_coherent(
+    label: &str,
+    result: &SolveResult,
+    inst: &ProblemInstance,
+    constraints: &OrderConstraints,
+    proven_optimum: f64,
+) {
+    let deployment = result
+        .deployment
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: no deployment"));
+    assert!(
+        deployment.is_valid_for(inst),
+        "{label}: invalid deployment {deployment:?}"
+    );
+    assert!(
+        constraints.is_satisfied_by(deployment.order()),
+        "{label}: precedence closure violated"
+    );
+    // The delta path must hand back an objective that IS the canonical
+    // evaluation of its own deployment — same bits, no tolerance.
+    let area = ObjectiveEvaluator::new(inst).evaluate_area(deployment);
+    assert_eq!(
+        result.objective.to_bits(),
+        area.to_bits(),
+        "{label}: returned objective {:?} disagrees with its deployment's canonical area {area:?}",
+        result.objective
+    );
+    // And no heuristic may beat a CP-proven optimum.
+    assert!(
+        result.objective >= proven_optimum - 1e-9,
+        "{label}: heuristic {:?} beats the proven optimum {proven_optimum:?}",
+        result.objective
+    );
+}
+
+/// Racing all delta-path local searches against each other (cooperation
+/// off) keeps every PR 2/3 invariant: valid deployments, canonical
+/// objective bits, and nothing below the CP-proven optimum.
+#[test]
+fn delta_path_portfolio_respects_the_proven_optimum() {
+    for seed in 0..4u64 {
+        let inst = instance(seed);
+        let constraints = OrderConstraints::from_instance(&inst);
+        let exact = CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
+            .solve(&inst);
+        assert!(exact.is_optimal(), "CP must prove the optimum");
+
+        let budget = SearchBudget::nodes(60);
+        let outcome = PortfolioSolver::with_members(budget, delta_roster(seed))
+            .with_config(PortfolioConfig {
+                budget,
+                cancel_on_optimal: false,
+                cooperation: CooperationPolicy::Off,
+            })
+            .solve_detailed(&inst);
+        for member in &outcome.members {
+            assert_result_is_coherent(
+                &format!("seed {seed} / {}", member.solver),
+                member,
+                &inst,
+                &constraints,
+                exact.objective,
+            );
+        }
+    }
+}
+
+/// `CooperationPolicy::Off` members remain bit-identical to their
+/// standalone runs with the delta path in place (the PR 3 reproducibility
+/// golden, re-pinned over the new scoring hot path).
+#[test]
+fn off_policy_stays_bit_identical_to_standalone_with_delta_scoring() {
+    let inst = instance(7);
+    let budget = SearchBudget::nodes(48);
+
+    let solo: Vec<SolveResult> = delta_roster(7)
+        .iter()
+        .map(|m| m.run_standalone(&inst, budget))
+        .collect();
+    let outcome = PortfolioSolver::with_members(budget, delta_roster(7))
+        .with_config(PortfolioConfig {
+            budget,
+            cancel_on_optimal: false,
+            cooperation: CooperationPolicy::Off,
+        })
+        .solve_detailed(&inst);
+
+    for (member, solo) in outcome.members.iter().zip(&solo) {
+        assert_eq!(
+            member.objective.to_bits(),
+            solo.objective.to_bits(),
+            "{}: off-policy race must be bit-identical to standalone",
+            member.solver
+        );
+        assert_eq!(
+            member.deployment.as_ref().map(|d| d.order().to_vec()),
+            solo.deployment.as_ref().map(|d| d.order().to_vec()),
+            "{}: deployments must match",
+            member.solver
+        );
+    }
+}
+
+/// Cooperative warm-start + steal races on the delta path still only ever
+/// publish coherent incumbents: whatever wins, its objective re-evaluates
+/// to the same bits and respects the proven optimum.
+#[test]
+fn cooperative_delta_races_publish_coherent_winners() {
+    for &policy in &[
+        CooperationPolicy::WarmStart,
+        CooperationPolicy::WarmStartSteal,
+    ] {
+        for seed in 0..3u64 {
+            let inst = instance(seed + 11);
+            let constraints = OrderConstraints::from_instance(&inst);
+            let exact = CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
+                .solve(&inst);
+
+            let budget = SearchBudget::nodes(40);
+            let outcome = PortfolioSolver::with_members(budget, delta_roster(seed + 11))
+                .with_config(PortfolioConfig {
+                    budget,
+                    cancel_on_optimal: false,
+                    cooperation: policy,
+                })
+                .solve_detailed(&inst);
+            for member in &outcome.members {
+                assert_result_is_coherent(
+                    &format!("{policy:?} / seed {seed} / {}", member.solver),
+                    member,
+                    &inst,
+                    &constraints,
+                    exact.objective,
+                );
+            }
+            // The aggregate winner is coherent too.
+            let best = outcome.best_member_objective();
+            assert!(best >= exact.objective - 1e-9);
+        }
+    }
+}
+
+/// The VNS shift-descent polish and the LNS delta-repair fallback can be
+/// switched off, restoring the pre-delta neighbourhood exactly; with them
+/// on, results never get worse than with them off (same seeds, same
+/// budgets — the extra neighbourhoods only ever accept improvements).
+#[test]
+fn delta_neighbourhoods_only_ever_improve() {
+    for seed in 0..4u64 {
+        let inst = instance(seed + 23);
+        let budget = SearchBudget::nodes(60);
+
+        let vns_off = VnsSolver::with_config(VnsConfig {
+            seed: seed ^ 0x5A,
+            shift_descent: false,
+            ..VnsConfig::default()
+        })
+        .run_standalone(&inst, budget);
+        let vns_on = VnsSolver::with_config(VnsConfig {
+            seed: seed ^ 0x5A,
+            shift_descent: true,
+            ..VnsConfig::default()
+        })
+        .run_standalone(&inst, budget);
+        assert!(
+            vns_on.objective <= vns_off.objective + 1e-9,
+            "seed {seed}: shift descent made VNS worse"
+        );
+
+        let lns_off = LnsSolver::with_config(LnsConfig {
+            seed: seed ^ 0x6B,
+            delta_repair: false,
+            ..LnsConfig::default()
+        })
+        .run_standalone(&inst, budget);
+        let lns_on = LnsSolver::with_config(LnsConfig {
+            seed: seed ^ 0x6B,
+            delta_repair: true,
+            ..LnsConfig::default()
+        })
+        .run_standalone(&inst, budget);
+        assert!(
+            lns_on.objective <= lns_off.objective + 1e-9,
+            "seed {seed}: delta repair made LNS worse"
+        );
+
+        // Both configurations hand back canonical bits for their own order.
+        for (label, r) in [
+            ("vns off", &vns_off),
+            ("vns on", &vns_on),
+            ("lns off", &lns_off),
+            ("lns on", &lns_on),
+        ] {
+            let d = r.deployment.as_ref().unwrap();
+            assert_eq!(
+                r.objective.to_bits(),
+                ObjectiveEvaluator::new(&inst).evaluate_area(d).to_bits(),
+                "seed {seed} / {label}"
+            );
+        }
+    }
+}

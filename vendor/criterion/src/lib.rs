@@ -32,6 +32,7 @@ impl Criterion {
             _criterion: self,
             name: name.into(),
             measurement_time: Duration::from_millis(100),
+            throughput: None,
         }
     }
 
@@ -75,16 +76,33 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Units of work performed per benchmark iteration; when set on a group the
+/// shim also reports a derived rate (elem/s or B/s) next to ns/iter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. moves scored).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the target number of samples (accepted, unused by the shim).
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration work, enabling rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -107,7 +125,13 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let id = id.into();
-        run_benchmark(Some(&self.name), &id.0, self.measurement_time, f);
+        run_benchmark_with(
+            Some(&self.name),
+            &id.0,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -120,7 +144,7 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let name = self.name.clone();
         let time = self.measurement_time;
-        run_benchmark(Some(&name), &id.0, time, |b| f(b, input));
+        run_benchmark_with(Some(&name), &id.0, time, self.throughput, |b| f(b, input));
         self
     }
 
@@ -170,6 +194,16 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     group: Option<&str>,
     id: &str,
     measurement_time: Duration,
+    f: F,
+) {
+    run_benchmark_with(group, id, measurement_time, None, f);
+}
+
+fn run_benchmark_with<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &str,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
     mut f: F,
 ) {
     let mut bencher = Bencher {
@@ -184,7 +218,20 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     match bencher.result {
         Some((total, iters)) if iters > 0 => {
             let ns = total.as_nanos() as f64 / iters as f64;
-            println!("bench {label:<50} {ns:>14.1} ns/iter ({iters} iters)");
+            let rate = throughput
+                .map(|t| {
+                    let per_second = 1e9 / ns;
+                    match t {
+                        Throughput::Elements(e) => {
+                            format!("  {:>12.0} elem/s", per_second * e as f64)
+                        }
+                        Throughput::Bytes(by) => {
+                            format!("  {:>12.0} B/s", per_second * by as f64)
+                        }
+                    }
+                })
+                .unwrap_or_default();
+            println!("bench {label:<50} {ns:>14.1} ns/iter ({iters} iters){rate}");
         }
         _ => println!("bench {label:<50} (no measurement)"),
     }
@@ -235,5 +282,16 @@ mod tests {
         });
         group.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn throughput_reporting_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-throughput");
+        group
+            .measurement_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(4));
+        group.bench_function("rate", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
     }
 }
