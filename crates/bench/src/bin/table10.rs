@@ -13,14 +13,18 @@
 //! makespan.
 //!
 //! Flags: `--slots <k>` (run a single slot count instead of the 1/2/4
-//! sweep), `--seed <n>` (scenario seeds), `--json <path>`
+//! sweep), `--seed <n>` (scenario seeds), `--work-conserving` (execute the
+//! matrix under work-conserving dispatch with slot-aware replan scoring
+//! instead of the head-of-line/serial default), `--json <path>`
 //! (machine-readable `BENCH_*.json` output), `--tiny` (hand-specified
 //! instance + scenarios, node budgets — bit-for-bit reproducible, diffed
-//! by the golden test).
+//! by the golden test; its matrix stays on the default config, and a
+//! dispatch-policy × replan-scoring comparison section covers the
+//! work-conserving side, gated so slot-aware scoring never regresses).
 
 use idd_bench::{parse_flag_value, BenchJson, BenchRecord, HarnessArgs, Table};
 use idd_core::{Deployment, EvolutionScenario, ObjectiveEvaluator, ProblemInstance};
-use idd_deploy::{DeployConfig, DeployRuntime, DeploymentReport};
+use idd_deploy::{DeployConfig, DeployRuntime, DeploymentReport, DispatchPolicy};
 use idd_solver::exact::{CpConfig, CpSolver};
 use idd_solver::prelude::*;
 use idd_workloads::evolution::{
@@ -50,16 +54,31 @@ struct Row {
     elapsed_seconds: f64,
 }
 
+/// The matrix configuration: the head-of-line / serial-scoring default, or
+/// (under `--work-conserving`) work-conserving dispatch with slot-aware
+/// replan scoring — the pair of fixes shipped together, measured together.
+fn matrix_config(slots: usize, work_conserving: bool) -> DeployConfig {
+    let config = DeployConfig::greedy_replan().with_build_slots(slots);
+    if work_conserving {
+        config
+            .with_dispatch(DispatchPolicy::WorkConserving)
+            .with_slot_aware_replan(true)
+    } else {
+        config
+    }
+}
+
 fn run_matrix(
     instance: &ProblemInstance,
     plan: &Deployment,
     scenarios: &[EvolutionScenario],
     slot_counts: &[usize],
+    work_conserving: bool,
 ) -> Vec<Row> {
     let mut rows = Vec::new();
     for scenario in scenarios {
         for &slots in slot_counts {
-            let config = DeployConfig::greedy_replan().with_build_slots(slots);
+            let config = matrix_config(slots, work_conserving);
             let started = std::time::Instant::now();
             let report = DeployRuntime::new(config)
                 .execute(instance, plan, scenario)
@@ -172,6 +191,7 @@ fn render(offline_objective: f64, rows: &[Row], per_scenario: usize, json_path: 
 
 fn main() {
     let tiny = std::env::args().any(|a| a == "--tiny");
+    let work_conserving = std::env::args().any(|a| a == "--work-conserving");
     let json_path = parse_flag_value("table10", "--json");
     let slot_counts = slot_counts();
     if tiny {
@@ -181,8 +201,13 @@ fn main() {
 
     let args = HarnessArgs::parse(HarnessArgs::default());
     println!(
-        "== Table 10: realized cost under concurrent build slots (seed {}) ==\n",
-        args.seed
+        "== Table 10: realized cost under concurrent build slots (seed {}{}) ==\n",
+        args.seed,
+        if work_conserving {
+            ", work-conserving + slot-aware replan"
+        } else {
+            ""
+        }
     );
 
     let instance = generate(SyntheticConfig::medium(args.seed));
@@ -209,7 +234,7 @@ fn main() {
         failure_scenario(&instance, &cfg),
         mixed_scenario(&instance, &cfg),
     ];
-    let rows = run_matrix(&instance, &plan, &scenarios, &slot_counts);
+    let rows = run_matrix(&instance, &plan, &scenarios, &slot_counts, work_conserving);
     render(offline, &rows, slot_counts.len(), json_path.as_deref());
 }
 
@@ -236,7 +261,13 @@ fn run_tiny(slot_counts: &[usize], json_path: Option<&str>) {
         slot_counts,
     );
 
-    let rows = run_matrix(&instance, &plan, &idd_bench::tiny_scenarios(), slot_counts);
+    let rows = run_matrix(
+        &instance,
+        &plan,
+        &idd_bench::tiny_scenarios(),
+        slot_counts,
+        false,
+    );
 
     // The quiet × 1-slot cell must reproduce the offline optimum exactly —
     // print the invariant so the golden test pins it. Compare against the
@@ -260,4 +291,93 @@ fn run_tiny(slot_counts: &[usize], json_path: Option<&str>) {
     }
 
     render(exact.objective, &rows, slot_counts.len(), json_path);
+
+    compare_dispatch_policies(&instance, &plan, &idd_bench::tiny_scenarios());
+}
+
+/// The dispatch-policy × replan-scoring comparison: the same plan and
+/// scenarios at 2 and 4 slots under (a) head-of-line dispatch with serial
+/// replan scoring (the matrix default above), (b) work-conserving dispatch
+/// still scoring replans with the serial proxy, and (c) work-conserving
+/// dispatch with slot-aware (realized k-slot area) scoring. Deterministic
+/// (greedy replan, node budgets), so the golden test pins every cell.
+///
+/// This doubles as the regression gate for the shipped pair of fixes: on
+/// the drift scenario, slot-aware scoring must never realize more cost than
+/// the serial proxy it replaces, nor than the head-of-line baseline — the
+/// process exits non-zero if it does, failing the CI smoke run.
+fn compare_dispatch_policies(
+    instance: &ProblemInstance,
+    plan: &Deployment,
+    scenarios: &[EvolutionScenario],
+) {
+    println!("\n-- dispatch policy × replan scoring (realized cost) --\n");
+    let mut table = Table::new(vec![
+        "scenario",
+        "slots",
+        "head-of-line",
+        "wc + serial",
+        "wc + slot-aware",
+        "vs head-of-line",
+        "overtakes",
+    ]);
+    let run = |scenario: &EvolutionScenario, slots: usize, wc: bool, slot_aware: bool| {
+        let mut config = DeployConfig::greedy_replan().with_build_slots(slots);
+        if wc {
+            config = config.with_dispatch(DispatchPolicy::WorkConserving);
+        }
+        if slot_aware {
+            config = config.with_slot_aware_replan(true);
+        }
+        DeployRuntime::new(config)
+            .execute(instance, plan, scenario)
+            .unwrap_or_else(|e| {
+                eprintln!(
+                    "table10: comparison {slots} slots on {}: {e}",
+                    scenario.name
+                );
+                std::process::exit(1);
+            })
+    };
+    let mut gate_failed = false;
+    for scenario in scenarios {
+        for slots in [2usize, 4] {
+            let hol = run(scenario, slots, false, false);
+            let wc_serial = run(scenario, slots, true, false);
+            let wc_slot_aware = run(scenario, slots, true, true);
+            table.row(vec![
+                scenario.name.clone(),
+                slots.to_string(),
+                format!("{:.2}", hol.realized_cost),
+                format!("{:.2}", wc_serial.realized_cost),
+                format!("{:.2}", wc_slot_aware.realized_cost),
+                format!(
+                    "{:+.2}%",
+                    (wc_slot_aware.realized_cost - hol.realized_cost)
+                        / hol.realized_cost.max(1e-12)
+                        * 100.0
+                ),
+                wc_slot_aware.out_of_order_dispatches.to_string(),
+            ]);
+            if scenario.name == "drift"
+                && (wc_slot_aware.realized_cost > wc_serial.realized_cost + 1e-9
+                    || wc_slot_aware.realized_cost > hol.realized_cost + 1e-9)
+            {
+                eprintln!(
+                    "table10: GATE FAILED on drift × {slots} slots: slot-aware {:.4} \
+                     must not exceed serial-proxy {:.4} or head-of-line {:.4}",
+                    wc_slot_aware.realized_cost, wc_serial.realized_cost, hol.realized_cost
+                );
+                gate_failed = true;
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "gate: drift realized cost, slot-aware <= serial proxy and <= head-of-line at 2 and 4 slots: {}",
+        if gate_failed { "FAILED" } else { "ok" }
+    );
+    if gate_failed {
+        std::process::exit(1);
+    }
 }

@@ -6,9 +6,13 @@
 //! against a simulated query stream — on one or several concurrent build
 //! slots — and reacts to the world changing underneath it.
 //!
-//! * [`DeployRuntime`] — the executor. Builds are dispatched strictly in
-//!   plan order into `build_slots` slots and the event loop advances a
-//!   priority queue over build-*completion* times; at every completion
+//! * [`DeployRuntime`] — the executor. Builds are dispatched into
+//!   `build_slots` slots under a [`DispatchPolicy`] — head-of-line (the
+//!   default: strictly in plan order, a blocked head idles the slots
+//!   behind it) or work-conserving (the first pending index whose
+//!   precedence prerequisites have *completed* runs, without reordering
+//!   the plan; overtakes are recorded in the report) — and the event loop
+//!   advances a priority queue over build-*completion* times; at every completion
 //!   boundary the runtime lands due
 //!   [`EvolutionScenario`](idd_core::EvolutionScenario) events (workload
 //!   drift, design revisions; build failures are handled in-line), freezes
@@ -20,13 +24,16 @@
 //!   behind the frozen commitment.
 //! * [`DeployConfig`] — the policy surface: replan strategy and budget,
 //!   `build_slots` (default 1 = the serial model of the paper),
-//!   [`ReplanTrigger`] (`OnFailure` also replans when a build reports
-//!   failed attempts) and a replan `debounce` window that batches event
-//!   bursts into a single replan.
+//!   [`DispatchPolicy`], [`ReplanTrigger`] (`OnFailure` also replans when
+//!   a build reports failed attempts), a replan `debounce` window that
+//!   batches event bursts into a single replan, and `slot_aware_replan`
+//!   (score replan candidates with the realized k-slot objective of
+//!   [`idd_core::SlotScheduleEvaluator`] instead of the serial proxy).
 //! * [`DeploymentReport`] — the realized timeline: executed builds (with
-//!   slot assignment and `start`/`finish` stamps), replan records (each
-//!   carrying its frozen-commitment and in-flight snapshots), realized
-//!   cumulative cost, wasted clock, retry counts.
+//!   slot assignment, `start`/`finish` stamps and the `plan_offset` each
+//!   work-conserving overtake recorded), replan records (each carrying its
+//!   frozen-commitment and in-flight snapshots), realized cumulative cost,
+//!   wasted clock, retry and out-of-order dispatch counts.
 //!
 //! Invariants, encoded in the runtime and locked down by this crate's
 //! proptests (`replan_props` and the `serial_equivalence` differential
@@ -35,8 +42,10 @@
 //! 1. committed work — the built prefix *and* every in-flight build — is
 //!    never reordered, rebuilt, or cancelled;
 //! 2. every spliced order satisfies the (possibly revised) precedence
-//!    closure — validated before execution continues — and no build is
-//!    dispatched before its precedence prerequisites have *completed*;
+//!    closure — validated before execution continues — no build is
+//!    dispatched before its precedence prerequisites have *completed*,
+//!    and under work-conserving dispatch no free slot idles while an
+//!    eligible pending index exists (the `work_conserving` suite);
 //! 3. with `build_slots = 1` (the default) the unified scheduler reproduces
 //!    [`DeployRuntime::execute_serial_reference`] — the serial executor as
 //!    shipped before concurrent slots existed — **bit-for-bit**, and with a
@@ -50,12 +59,14 @@ pub mod report;
 pub mod runtime;
 
 pub use report::{DeploymentReport, ExecutedBuild, ReplanRecord};
-pub use runtime::{DeployConfig, DeployError, DeployRuntime, ReplanTrigger};
+pub use runtime::{DeployConfig, DeployError, DeployRuntime, DispatchPolicy, ReplanTrigger};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
-    pub use crate::runtime::{DeployConfig, DeployError, DeployRuntime, ReplanTrigger};
+    pub use crate::runtime::{
+        DeployConfig, DeployError, DeployRuntime, DispatchPolicy, ReplanTrigger,
+    };
     pub use idd_core::{EventKind, EvolutionEvent, EvolutionScenario};
     pub use idd_solver::replan::{ReplanStrategy, Replanner};
 }

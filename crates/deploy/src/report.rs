@@ -34,6 +34,14 @@ pub struct ExecutedBuild {
     pub wasted: f64,
     /// Number of failed attempts.
     pub retries: u32,
+    /// How far into the pending suffix the dispatcher reached for this
+    /// build: `0` means the planned head ran (always the case under
+    /// head-of-line dispatch and with one slot), `d > 0` means `d`
+    /// earlier-planned indexes were blocked behind incomplete precedence
+    /// prerequisites and this build overtook them (work-conserving
+    /// dispatch). The plan itself is never reordered — overtaken indexes
+    /// keep their place and dispatch later.
+    pub plan_offset: usize,
     /// Workload runtime when this build was dispatched.
     pub runtime_before: f64,
     /// Workload runtime once this index became available (with overlapping
@@ -101,6 +109,11 @@ pub struct DeploymentReport {
     pub total_wasted: f64,
     /// Total failed attempts.
     pub retries: u32,
+    /// Builds dispatched ahead of a blocked planned head (the number of
+    /// builds with `plan_offset > 0`): the dispatch-order deviation a
+    /// work-conserving run accepted to keep its slots busy. Always `0`
+    /// under head-of-line dispatch.
+    pub out_of_order_dispatches: usize,
     /// Timed events applied during the run.
     pub events_applied: usize,
     /// Drop requests that were ignored (index already built or in flight,
@@ -169,6 +182,7 @@ mod tests {
             cost: 1.0,
             wasted: 0.0,
             retries: 0,
+            plan_offset: 0,
             runtime_before: 10.0,
             runtime_after: 9.0,
         }
@@ -195,6 +209,7 @@ mod tests {
             total_build_time: 3.0,
             total_wasted: 0.0,
             retries: 0,
+            out_of_order_dispatches: 0,
             events_applied: 1,
             ineffective_drops: 0,
         };
@@ -233,6 +248,7 @@ mod tests {
             total_build_time: 1.0,
             total_wasted: 0.0,
             retries: 0,
+            out_of_order_dispatches: 0,
             events_applied: 0,
             ineffective_drops: 0,
         };

@@ -2,9 +2,22 @@
 //!
 //! [`DeployRuntime::execute`] runs a deployment order against a simulated
 //! query stream on `k = build_slots` concurrent build slots. Builds are
-//! dispatched strictly in plan order into free slots; a slot holds its build
-//! (failed attempts included) until the index becomes available, and the
-//! event loop advances a priority queue over build-*completion* times.
+//! dispatched into free slots under the configured [`DispatchPolicy`]:
+//!
+//! * [`DispatchPolicy::HeadOfLine`] (the default) admits only the planned
+//!   head — a head blocked behind an incomplete precedence prerequisite
+//!   idles every free slot behind it, and dispatch order always equals plan
+//!   order;
+//! * [`DispatchPolicy::WorkConserving`] scans the pending suffix for the
+//!   *first eligible* index (every precedence prerequisite completed) and
+//!   runs it without reordering the plan — no free slot ever idles while
+//!   eligible work is pending. Each overtake is recorded as the build's
+//!   [`ExecutedBuild::plan_offset`] and counted in
+//!   [`DeploymentReport::out_of_order_dispatches`].
+//!
+//! A slot holds its build (failed attempts included) until the index
+//! becomes available, and the event loop advances a priority queue over
+//! build-*completion* times.
 //! Evolution events land at completion boundaries (an in-flight attempt is
 //! atomic), and — under a replanning policy — the runtime re-optimizes the
 //! unbuilt suffix whenever the world changes:
@@ -43,17 +56,21 @@
 //! priced against the indexes completed when it starts — dispatching an
 //! index before its build-interaction helper completes forfeits the
 //! discount, which is exactly the trade-off `table10` measures against the
-//! shorter makespan.
+//! shorter makespan. [`idd_core::SlotScheduleEvaluator`] reproduces this
+//! model offline (quiet-run bit-for-bit), which is what a slot-aware
+//! replan ([`DeployConfig::with_slot_aware_replan`]) scores candidate
+//! suffixes with instead of the serial proxy.
 
 use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
 use idd_core::{
     CoreError, Deployment, EventKind, EvolutionEvent, EvolutionScenario, ExactSum, IndexId,
     ObjectiveEvaluator, ProblemInstance,
 };
-use idd_solver::replan::{ReplanStrategy, Replanner};
+use idd_solver::replan::{ReplanStrategy, Replanner, SuffixScoring};
 use idd_solver::SearchBudget;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// Errors a deployment run can hit.
 #[derive(Debug)]
@@ -100,6 +117,28 @@ pub enum ReplanTrigger {
     OnFailure,
 }
 
+/// How pending builds are admitted into free slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchPolicy {
+    /// Only the planned head may dispatch: a head blocked behind an
+    /// incomplete precedence prerequisite idles every free slot behind it.
+    /// The default — dispatch order equals plan order, which keeps
+    /// multi-slot runs predictable and is what the serial model degenerates
+    /// to at one slot.
+    #[default]
+    HeadOfLine,
+    /// The first *eligible* pending index dispatches: the scan walks the
+    /// pending suffix in plan order and admits the earliest index whose
+    /// precedence prerequisites have all completed, without reordering the
+    /// plan. No free slot ever idles while eligible work is pending (work
+    /// conservation); every overtake is recorded in the report
+    /// ([`ExecutedBuild::plan_offset`],
+    /// [`DeploymentReport::out_of_order_dispatches`]). With one slot this
+    /// degenerates to head-of-line: when the single slot is free nothing is
+    /// in flight, and a validated plan's head is then always eligible.
+    WorkConserving,
+}
+
 /// Configuration of a deployment run.
 #[derive(Debug, Clone)]
 pub struct DeployConfig {
@@ -109,15 +148,29 @@ pub struct DeployConfig {
     /// order is kept.
     pub replanner: Replanner,
     /// Number of concurrent build slots. `1` (the default) reproduces the
-    /// serial runtime bit-for-bit; `0` is treated as `1`.
+    /// serial runtime bit-for-bit; `0` is treated as `1`
+    /// ([`DeployConfig::with_build_slots`] normalizes it eagerly, and the
+    /// executor clamps again for configs built by hand).
     pub build_slots: usize,
+    /// How pending builds are admitted into free slots. Defaults to
+    /// [`DispatchPolicy::HeadOfLine`].
+    pub dispatch: DispatchPolicy,
+    /// Score replan candidates with the k-slot list-schedule objective
+    /// ([`idd_core::SlotScheduleEvaluator`], `k = build_slots`, matching
+    /// this config's dispatch policy) instead of the serial proxy. With one
+    /// slot the two objectives coincide bit-for-bit, so this is a no-op
+    /// there. Defaults to `false`.
+    pub slot_aware_replan: bool,
     /// What fires a replan. Defaults to [`ReplanTrigger::OnEvent`].
     pub trigger: ReplanTrigger,
     /// Replan debounce window, in deployment-clock seconds: when a replan
     /// becomes due but another event is scheduled within `debounce` of the
     /// current clock, the replan is deferred and the triggers batch into a
     /// single replan once the burst is over. `0.0` (the default) replans at
-    /// every trigger boundary, exactly like the serial runtime.
+    /// every trigger boundary, exactly like the serial runtime. NaN and
+    /// negative values are normalized to `0.0`
+    /// ([`DeployConfig::with_debounce`] clamps eagerly, and the executor
+    /// clamps again for configs built by hand).
     pub debounce: f64,
 }
 
@@ -126,6 +179,8 @@ impl Default for DeployConfig {
         Self {
             replanner: Replanner::new(ReplanStrategy::KeepOrder, SearchBudget::nodes(200)),
             build_slots: 1,
+            dispatch: DispatchPolicy::default(),
+            slot_aware_replan: false,
             trigger: ReplanTrigger::OnEvent,
             debounce: 0.0,
         }
@@ -165,9 +220,23 @@ impl DeployConfig {
         }
     }
 
-    /// Sets the number of concurrent build slots.
+    /// Sets the number of concurrent build slots (`0` is normalized to
+    /// `1` — a runtime with no slots could never dispatch anything).
     pub fn with_build_slots(mut self, slots: usize) -> Self {
-        self.build_slots = slots;
+        self.build_slots = slots.max(1);
+        self
+    }
+
+    /// Sets the dispatch policy.
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Enables (or disables) scoring replan candidates with the k-slot
+    /// list-schedule objective instead of the serial proxy.
+    pub fn with_slot_aware_replan(mut self, slot_aware: bool) -> Self {
+        self.slot_aware_replan = slot_aware;
         self
     }
 
@@ -177,9 +246,16 @@ impl DeployConfig {
         self
     }
 
-    /// Sets the replan debounce window.
+    /// Sets the replan debounce window. NaN and negative windows are
+    /// normalized to `0.0` (replan at every trigger boundary): a NaN
+    /// window would otherwise poison every "is the next event close
+    /// enough to batch with?" comparison.
     pub fn with_debounce(mut self, debounce: f64) -> Self {
-        self.debounce = debounce;
+        self.debounce = if debounce.is_finite() && debounce > 0.0 {
+            debounce
+        } else {
+            0.0
+        };
         self
     }
 }
@@ -245,8 +321,10 @@ struct RunState {
     excluded: Vec<bool>,
     /// Builds currently occupying slots, in dispatch order.
     in_flight: Vec<InFlight>,
-    /// The planned unbuilt suffix, in execution order (parent ids).
-    pending: Vec<IndexId>,
+    /// The planned unbuilt suffix, in execution order (parent ids). A
+    /// `VecDeque` so head dispatch is O(1) (and a work-conserving overtake
+    /// at position `p` costs `O(min(p, n − p))`, not a full shift).
+    pending: VecDeque<IndexId>,
     /// Replan triggers accumulated but not yet acted on (debouncing).
     deferred_triggers: Vec<&'static str>,
     clock: f64,
@@ -269,7 +347,7 @@ impl RunState {
             built: vec![false; n],
             excluded: vec![false; n],
             in_flight: Vec::new(),
-            pending: initial.order().to_vec(),
+            pending: initial.order().iter().copied().collect(),
             deferred_triggers: Vec::new(),
             clock: 0.0,
             realized: ExactSum::new(),
@@ -282,6 +360,7 @@ impl RunState {
                 total_build_time: 0.0,
                 total_wasted: 0.0,
                 retries: 0,
+                out_of_order_dispatches: 0,
                 events_applied: 0,
                 ineffective_drops: 0,
             },
@@ -386,14 +465,27 @@ impl RunState {
         }
     }
 
-    /// `true` when `head` may be dispatched: every precedence prerequisite
-    /// has *completed* (an in-flight prerequisite blocks the head — the
+    /// `true` when `index` may be dispatched: every precedence prerequisite
+    /// has *completed* (an in-flight prerequisite blocks dispatch — the
     /// dependency is on the built artifact, not on the commitment).
-    fn head_eligible(&self, head: IndexId) -> bool {
+    fn eligible(&self, index: IndexId) -> bool {
         self.instance
             .precedences()
             .iter()
-            .all(|pr| pr.after != head || self.built[pr.before.raw()])
+            .all(|pr| pr.after != index || self.built[pr.before.raw()])
+    }
+
+    /// Position in `pending` of the next index `policy` admits into a free
+    /// slot, if any. Head-of-line admits only an eligible head;
+    /// work-conserving admits the first eligible index. Eligibility depends
+    /// only on the *completed* set, so the answer is stable across the
+    /// dispatches of one completion boundary.
+    fn next_dispatchable(&self, policy: DispatchPolicy) -> Option<usize> {
+        let limit = match policy {
+            DispatchPolicy::HeadOfLine => self.pending.len().min(1),
+            DispatchPolicy::WorkConserving => self.pending.len(),
+        };
+        (0..limit).find(|&pos| self.eligible(self.pending[pos]))
     }
 }
 
@@ -421,6 +513,15 @@ impl DeployRuntime {
             .validate(instance)
             .map_err(DeployError::InvalidInitialPlan)?;
         let slots = self.config.build_slots.max(1);
+        // Re-clamp for configs assembled by hand (the builders normalize
+        // eagerly): a NaN window would make `next_within_window` false and
+        // so never livelock, but a *negative* one is equally meaningless,
+        // and one normalization point keeps the semantics obvious.
+        let debounce = if self.config.debounce.is_finite() && self.config.debounce > 0.0 {
+            self.config.debounce
+        } else {
+            0.0
+        };
         let mut state = RunState::new(instance, initial);
 
         // Earliest event last, so `pop` yields events in time order.
@@ -457,11 +558,10 @@ impl DeployRuntime {
             //    events broke (e.g. an addition behind a retracted
             //    prerequisite).
             if !state.deferred_triggers.is_empty() {
-                let next_within_window = queue
-                    .last()
-                    .is_some_and(|e| e.at <= state.clock + self.config.debounce);
+                let next_within_window =
+                    queue.last().is_some_and(|e| e.at <= state.clock + debounce);
                 let can_progress = !state.in_flight.is_empty()
-                    || (!state.pending.is_empty() && state.head_eligible(state.pending[0]));
+                    || state.next_dispatchable(self.config.dispatch).is_some();
                 if !(next_within_window && can_progress) {
                     let trigger = state.deferred_triggers.join("+");
                     state.deferred_triggers.clear();
@@ -502,18 +602,23 @@ impl DeployRuntime {
             }
 
             loop {
-                // 4. Dispatch plan-order heads into free slots until the
-                //    slots are full, the plan runs out, or the head is
-                //    blocked behind an in-flight prerequisite. No event can
+                // 4. Dispatch pending work into free slots until the slots
+                //    are full or the policy admits nothing more: under
+                //    head-of-line that is a blocked (or exhausted) plan
+                //    head; under work-conserving it means *no* pending
+                //    index has all prerequisites completed. No event can
                 //    be due here: the outer loop drained everything at or
                 //    before this clock, and the inner loop breaks at the
                 //    completion that makes the next one due.
                 debug_assert!(!queue.last().is_some_and(|e| e.at <= state.clock));
-                while !state.pending.is_empty()
-                    && !free_slots.is_empty()
-                    && state.head_eligible(state.pending[0])
-                {
-                    let next = state.pending.remove(0);
+                while !free_slots.is_empty() {
+                    let Some(pos) = state.next_dispatchable(self.config.dispatch) else {
+                        break;
+                    };
+                    let next = state.pending.remove(pos).expect("position from scan");
+                    if pos > 0 {
+                        state.report.out_of_order_dispatches += 1;
+                    }
                     let slot = free_slots.pop().expect("checked non-empty").0;
                     let cost = stepper.begin_build(next);
 
@@ -543,6 +648,7 @@ impl DeployRuntime {
                         cost,
                         wasted,
                         retries,
+                        plan_offset: pos,
                         runtime_before: stepper.runtime(),
                         runtime_after: f64::NAN, // filled at completion
                     });
@@ -647,14 +753,37 @@ impl DeployRuntime {
             state
                 .instance
                 .residual_for_replan(&state.built, &in_flight_order, &state.excluded)?;
+        // Score candidates with what this runtime will actually realize:
+        // the k-slot list-schedule objective when slot-aware replanning is
+        // on (matching slot count and dispatch policy), the serial proxy
+        // otherwise.
+        let replanner = if self.config.slot_aware_replan {
+            self.config
+                .replanner
+                .clone()
+                .with_scoring(SuffixScoring::SlotAware {
+                    slots: self.config.build_slots.max(1),
+                    work_conserving: self.config.dispatch == DispatchPolicy::WorkConserving,
+                })
+        } else {
+            self.config.replanner.clone()
+        };
+        let pending: Vec<IndexId> = state.pending.iter().copied().collect();
+        // In-flight builds keep their slots until they finish: a slot-aware
+        // scorer that assumed every slot free at the replan point would rank
+        // candidates against schedules that cannot happen. Serial scoring
+        // ignores the offsets (it has no slots to occupy).
+        let busy_until: Vec<f64> = state
+            .in_flight
+            .iter()
+            .map(|f| f.finish - state.clock)
+            .collect();
         // Mechanical plan maintenance (appends on addition, removals on
         // drop) must keep the suffix a permutation of the residual indexes.
         // If it ever does not, surface the bug — a silent fallback would
         // turn the static baseline into a replanning policy.
-        let (outcome, new_pending) = self
-            .config
-            .replanner
-            .replan_around(&residual, &state.pending)
+        let (outcome, new_pending) = replanner
+            .replan_around_occupied(&residual, &pending, &busy_until)
             .ok_or_else(|| {
                 DeployError::InvalidPlan(
                     "in-flight suffix is not a permutation of the residual indexes".into(),
@@ -682,7 +811,7 @@ impl DeployRuntime {
             solver: outcome.solver,
             improved: outcome.improved,
         });
-        state.pending = new_pending;
+        state.pending = new_pending.into();
         Ok(())
     }
 
@@ -755,7 +884,7 @@ impl DeployRuntime {
                 if queue.last().is_some_and(|e| e.at <= state.clock) {
                     break; // event boundary: back to step 1
                 }
-                let next = state.pending.remove(0);
+                let next = state.pending.pop_front().expect("checked non-empty");
                 let start = state.clock;
 
                 // Failed attempts waste clock at the current runtime.
@@ -785,6 +914,7 @@ impl DeployRuntime {
                     cost: step.build_cost,
                     wasted,
                     retries,
+                    plan_offset: 0,
                     runtime_before: step.runtime_before,
                     runtime_after: step.runtime_after,
                 });
@@ -1092,6 +1222,183 @@ mod tests {
         assert_eq!(report.builds[2].start, 4.0, "freed alongside the gate");
         assert_eq!(report.builds[2].slot, 1);
         assert!(report.realized_order().is_valid_for(&inst));
+        assert_eq!(report.out_of_order_dispatches, 0);
+        assert!(report.builds.iter().all(|b| b.plan_offset == 0));
+    }
+
+    #[test]
+    fn work_conserving_dispatch_overtakes_a_blocked_head() {
+        // Same gate as the head-of-line test: plan [0,1,2] with i0 → i1, two
+        // slots. Head-of-line idles slot 1 until i0 completes; the
+        // work-conserving dispatcher reaches past the blocked i1 and starts
+        // i2 at t=0, recording the overtake without reordering the plan.
+        let mut b = ProblemInstance::builder("gate");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(6.0);
+        let i2 = b.add_index(3.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![i0], 10.0);
+        b.add_plan(q0, vec![i1], 30.0);
+        b.add_plan(q0, vec![i2], 5.0);
+        b.add_precedence(i0, i1);
+        let inst = b.build().unwrap();
+        let plan = Deployment::from_raw([0, 1, 2]);
+        let hol = DeployRuntime::new(DeployConfig::static_plan().with_build_slots(2))
+            .execute(&inst, &plan, &EvolutionScenario::quiet("q"))
+            .unwrap();
+        let wc = DeployRuntime::new(
+            DeployConfig::static_plan()
+                .with_build_slots(2)
+                .with_dispatch(DispatchPolicy::WorkConserving),
+        )
+        .execute(&inst, &plan, &EvolutionScenario::quiet("q"))
+        .unwrap();
+        let dispatched: Vec<usize> = wc.builds.iter().map(|b| b.index.raw()).collect();
+        assert_eq!(dispatched, [0, 2, 1], "i2 overtakes the gated i1");
+        assert_eq!(wc.builds[1].start, 0.0, "slot 1 never idles");
+        assert_eq!(wc.builds[1].slot, 1);
+        assert_eq!(wc.builds[1].plan_offset, 1, "reached one past the head");
+        assert_eq!(wc.builds[0].plan_offset, 0);
+        assert_eq!(wc.builds[2].plan_offset, 0, "i1 is the head once i2 left");
+        assert_eq!(wc.out_of_order_dispatches, 1);
+        assert!(wc.realized_order().is_valid_for(&inst));
+        // Keeping the slot busy is strictly cheaper here, and no slower.
+        assert!(
+            wc.realized_cost < hol.realized_cost - 1e-9,
+            "work-conserving {} must beat idling {}",
+            wc.realized_cost,
+            hol.realized_cost
+        );
+        assert!(wc.total_clock <= hol.total_clock);
+    }
+
+    #[test]
+    fn work_conserving_with_one_slot_is_bit_identical_to_head_of_line() {
+        // With one slot nothing is ever in flight at a dispatch point, and a
+        // validated plan's head is always eligible — the first-eligible scan
+        // degenerates to head-only, bit for bit.
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "mixed".into(),
+            events: vec![drift_at(4.5, 1, 6.0)],
+            failures: vec![idd_core::BuildFailure {
+                index: IndexId::new(2),
+                failures: 1,
+                waste_fraction: 0.5,
+            }],
+        };
+        let hol = DeployRuntime::new(DeployConfig::greedy_replan())
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        let wc = DeployRuntime::new(
+            DeployConfig::greedy_replan().with_dispatch(DispatchPolicy::WorkConserving),
+        )
+        .execute(&inst, &plan, &scenario)
+        .unwrap();
+        assert_eq!(wc, hol);
+        assert_eq!(wc.out_of_order_dispatches, 0);
+    }
+
+    #[test]
+    fn nan_and_negative_debounce_are_treated_as_zero() {
+        // with_debounce clamps non-finite and negative windows to 0.0 so a
+        // NaN can never poison the deferral comparison (`at <= clock + NaN`
+        // is always false, which silently disabled batching — and worse,
+        // left the force-fire guard comparing against NaN).
+        assert_eq!(
+            DeployConfig::static_plan().with_debounce(f64::NAN).debounce,
+            0.0
+        );
+        assert_eq!(
+            DeployConfig::static_plan().with_debounce(-3.0).debounce,
+            0.0
+        );
+        assert_eq!(
+            DeployConfig::static_plan()
+                .with_debounce(f64::INFINITY)
+                .debounce,
+            0.0
+        );
+        assert_eq!(DeployConfig::static_plan().with_debounce(5.0).debounce, 5.0);
+
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "burst".into(),
+            events: vec![drift_at(4.5, 1, 3.0), drift_at(9.0, 0, 0.5)],
+            failures: vec![],
+        };
+        let zero = DeployRuntime::new(DeployConfig::static_plan().with_debounce(0.0))
+            .execute(&inst, &plan, &scenario)
+            .unwrap();
+        for bad in [f64::NAN, -1.0, f64::NEG_INFINITY] {
+            let mut config = DeployConfig::static_plan();
+            config.debounce = bad; // bypass the builder: worst case survives
+            let report = DeployRuntime::new(config)
+                .execute(&inst, &plan, &scenario)
+                .unwrap();
+            assert_eq!(report, zero, "debounce {bad} must behave as zero");
+        }
+    }
+
+    #[test]
+    fn nan_debounce_cannot_livelock_the_stuck_clock_guard() {
+        // The stuck-clock scenario from the deferral test, but with a NaN
+        // debounce smuggled past the builder. The executor's own clamp must
+        // keep the force-fire guard sound: the run surfaces the infeasible
+        // precedence instead of spinning on a deferral that never matures.
+        let inst = instance();
+        let plan = Deployment::from_raw([0, 1, 2, 3]);
+        let scenario = EvolutionScenario {
+            name: "stuck".into(),
+            events: vec![
+                EvolutionEvent {
+                    at: 3.0,
+                    kind: EventKind::Revision(DesignRevision {
+                        add: vec![],
+                        drop: vec![IndexId::new(1), IndexId::new(2), IndexId::new(3)],
+                    }),
+                },
+                EvolutionEvent {
+                    at: 3.5,
+                    kind: EventKind::Revision(DesignRevision {
+                        add: vec![IndexAddition {
+                            name: "orphaned".into(),
+                            creation_cost: 2.0,
+                            plans: vec![(QueryId::new(0), vec![], 10.0)],
+                            helped_by: vec![],
+                            helps: vec![],
+                            after: vec![IndexId::new(1)],
+                        }],
+                        drop: vec![],
+                    }),
+                },
+                drift_at(6.0, 0, 2.0),
+            ],
+            failures: vec![],
+        };
+        let mut config = DeployConfig::static_plan();
+        config.debounce = f64::NAN;
+        let err = DeployRuntime::new(config)
+            .execute(&inst, &plan, &scenario)
+            .unwrap_err();
+        assert!(matches!(err, DeployError::InfeasibleEvent(_)), "{err}");
+    }
+
+    #[test]
+    fn build_slots_are_normalized_in_the_builder() {
+        assert_eq!(
+            DeployConfig::static_plan().with_build_slots(0).build_slots,
+            1
+        );
+        assert_eq!(
+            DeployConfig::static_plan().with_build_slots(3).build_slots,
+            3
+        );
+        assert_eq!(DeployConfig::default().build_slots, 1);
+        assert_eq!(DeployConfig::default().dispatch, DispatchPolicy::HeadOfLine);
+        assert!(!DeployConfig::default().slot_aware_replan);
     }
 
     #[test]

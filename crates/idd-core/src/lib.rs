@@ -39,6 +39,7 @@ pub mod query;
 pub mod reduce;
 pub mod residual;
 pub mod schedule;
+pub mod slotsched;
 pub mod solution;
 pub mod stats;
 pub mod types;
@@ -66,6 +67,7 @@ pub use query::QueryMeta;
 pub use reduce::{reduce, Density, ReduceOptions};
 pub use residual::ResidualInstance;
 pub use schedule::{DeploymentSchedule, ScheduledBuild};
+pub use slotsched::{SlotScheduleEvaluator, SlotScheduleValue};
 pub use solution::Deployment;
 pub use stats::InstanceStats;
 pub use types::{IndexId, PlanId, QueryId};

@@ -1,0 +1,494 @@
+//! The slot-aware suffix objective: what a candidate order *really* costs
+//! on `k` concurrent build slots.
+//!
+//! [`ObjectiveEvaluator::evaluate_area`](crate::ObjectiveEvaluator::evaluate_area)
+//! scores an order under the paper's serial model — one build at a time,
+//! every build enjoying the interaction discounts of everything before it.
+//! A concurrent runtime realizes a different cost: builds overlap, an index
+//! dispatched before its helper *completes* forfeits the discount, and the
+//! workload runtime integrates over the (shorter) overlapped wall-clock.
+//! Ranking candidate suffixes by the serial area is therefore a proxy that
+//! can disagree with the k-slot cost the runtime will actually pay.
+//!
+//! [`SlotScheduleEvaluator`] closes that gap: it list-schedules an order
+//! onto `k` slots with exactly the deploy runtime's dispatch rules and
+//! exactly the [`ObjectiveStepper`](crate::objective::ObjectiveStepper)
+//! begin/accrue/complete arithmetic,
+//! accumulating the realized area in an [`ExactSum`]. The result is not an
+//! approximation of the runtime — on a quiet run (no events, no failures)
+//! it *is* the runtime, bit for bit:
+//!
+//! * dispatch fills the lowest-numbered free slot first;
+//! * under [`head-of-line`](SlotScheduleEvaluator::head_of_line) rules a
+//!   pending head whose precedence prerequisite has not *completed* blocks
+//!   every free slot behind it; under
+//!   [`work-conserving`](SlotScheduleEvaluator::work_conserving) rules (the
+//!   default) the first *eligible* pending index runs instead, without
+//!   reordering the plan;
+//! * each build is priced against the indexes completed at its start
+//!   ([`ObjectiveStepper::begin_build`](crate::objective::ObjectiveStepper::begin_build)):
+//!   an in-flight helper discounts
+//!   nothing;
+//! * completions land earliest-finish-first, dispatch order breaking ties,
+//!   and each elapsed span accrues `runtime · duration` into the same
+//!   [`ExactSum`] the runtime uses.
+//!
+//! With `k = 1` every order degenerates to the serial schedule and the
+//! evaluator reproduces
+//! [`ObjectiveEvaluator::evaluate_area`](crate::ObjectiveEvaluator::evaluate_area)
+//! bit-for-bit — which is what lets a replanner switch between the serial
+//! and slot-aware objectives without perturbing single-slot behavior.
+
+use crate::accsum::ExactSum;
+use crate::instance::ProblemInstance;
+use crate::objective::ObjectiveEvaluator;
+use crate::solution::Deployment;
+use crate::types::IndexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// What one list-scheduled run of an order realized on `k` slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotScheduleValue {
+    /// The realized k-slot objective area: workload runtime integrated over
+    /// the schedule's wall-clock, canonically rounded once.
+    pub area: f64,
+    /// The schedule makespan (completion time of the last build).
+    pub makespan: f64,
+    /// Workload runtime once every index has completed.
+    pub final_runtime: f64,
+    /// Number of builds dispatched ahead of a blocked planned head (always
+    /// `0` under head-of-line rules, where nothing may overtake).
+    pub overtakes: usize,
+}
+
+/// List-schedules deployment orders onto `k` concurrent build slots and
+/// returns the realized k-slot objective area. See the module docs for the
+/// exact semantics and the bit-for-bit guarantees.
+#[derive(Debug, Clone)]
+pub struct SlotScheduleEvaluator<'a> {
+    instance: &'a ProblemInstance,
+    evaluator: ObjectiveEvaluator<'a>,
+    slots: usize,
+    work_conserving: bool,
+    /// Offsets (from the schedule's t = 0) at which initially-occupied
+    /// slots become free; empty = every slot free at once.
+    busy_until: Vec<f64>,
+}
+
+/// What the completion queue is waiting on: a scheduled build finishing, or
+/// an initially-occupied slot becoming free (a mid-flight replan's
+/// in-flight build draining, seen from the suffix's t = 0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DoneEvent {
+    Build(IndexId),
+    SlotFree(usize),
+}
+
+/// Completion-queue key: earliest finish first, dispatch sequence breaking
+/// ties — the same ordering the deploy runtime's event loop uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Done {
+    finish: f64,
+    seq: usize,
+    event: DoneEvent,
+}
+
+impl Eq for Done {}
+
+impl Ord for Done {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish
+            .total_cmp(&other.finish)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Done {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> SlotScheduleEvaluator<'a> {
+    /// A work-conserving evaluator over `slots` concurrent slots (`0` is
+    /// treated as `1`, like the deploy runtime's `build_slots`).
+    pub fn new(instance: &'a ProblemInstance, slots: usize) -> Self {
+        Self {
+            instance,
+            evaluator: ObjectiveEvaluator::new(instance),
+            slots: slots.max(1),
+            work_conserving: true,
+            busy_until: Vec::new(),
+        }
+    }
+
+    /// Marks slots as initially occupied: `busy[i]` is the offset from the
+    /// schedule's t = 0 at which the i-th occupied slot frees up. This is
+    /// what a mid-flight replan sees — in-flight builds hold some slots
+    /// past the replan point, so a candidate suffix that assumes all `k`
+    /// slots are free at once is scored against a schedule that cannot
+    /// happen. Non-finite or non-positive offsets count as free
+    /// immediately; offsets beyond the slot count are ignored (there is
+    /// nothing left to occupy).
+    pub fn with_busy_until(mut self, busy: &[f64]) -> Self {
+        self.busy_until = busy
+            .iter()
+            .copied()
+            .map(|b| if b.is_finite() && b > 0.0 { b } else { 0.0 })
+            .take(self.slots)
+            .collect();
+        self
+    }
+
+    /// Switches to head-of-line dispatch: a blocked planned head idles every
+    /// free slot behind it (the deploy runtime's default dispatch policy).
+    pub fn head_of_line(mut self) -> Self {
+        self.work_conserving = false;
+        self
+    }
+
+    /// Switches to work-conserving dispatch (the constructor default): the
+    /// first eligible pending index runs whenever a slot is free.
+    pub fn work_conserving(mut self) -> Self {
+        self.work_conserving = true;
+        self
+    }
+
+    /// The slot count this evaluator schedules onto.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// `true` when dispatch may overtake a blocked planned head.
+    pub fn is_work_conserving(&self) -> bool {
+        self.work_conserving
+    }
+
+    /// The realized k-slot objective area of `order` (no timeline detail).
+    pub fn evaluate_area(&self, order: &Deployment) -> f64 {
+        self.evaluate(order).area
+    }
+
+    /// List-schedules `order` and returns the realized area, makespan,
+    /// final runtime and overtake count.
+    ///
+    /// `order` must be a valid deployment of the instance (a permutation
+    /// satisfying the precedence closure — checked in debug builds): with a
+    /// prerequisite scheduled *after* its dependent, no dispatch rule could
+    /// ever clear the dependent and the schedule would wedge.
+    pub fn evaluate(&self, order: &Deployment) -> SlotScheduleValue {
+        debug_assert!(order.validate(self.instance).is_ok());
+        let mut pending: VecDeque<IndexId> = order.order().iter().copied().collect();
+        let mut stepper = self.evaluator.stepper();
+        let mut realized = ExactSum::new();
+        let mut completions: BinaryHeap<Reverse<Done>> = BinaryHeap::new();
+        let mut free_slots: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+        // (index, slot, start, finish, cost) per in-flight build.
+        let mut in_flight: Vec<(IndexId, usize, f64, f64, f64)> = Vec::new();
+        let mut clock = 0.0_f64;
+        let mut seq = 0usize;
+        let mut overtakes = 0usize;
+
+        // Slots carrying an initial occupancy free up via the completion
+        // queue (like the in-flight builds they stand for); the rest are
+        // free at once. With no occupancy this is every slot, bit-for-bit
+        // the original behavior.
+        for slot in 0..self.slots {
+            match self.busy_until.get(slot) {
+                Some(&b) if b > 0.0 => {
+                    completions.push(Reverse(Done {
+                        finish: b,
+                        seq,
+                        event: DoneEvent::SlotFree(slot),
+                    }));
+                    seq += 1;
+                }
+                _ => free_slots.push(Reverse(slot)),
+            }
+        }
+
+        loop {
+            // Dispatch into free slots. Eligibility (every precedence
+            // prerequisite *completed*) cannot change while dispatching —
+            // only completions complete things — so each scan is final for
+            // this boundary.
+            while !free_slots.is_empty() {
+                let Some(pos) = self.next_dispatchable(&pending, stepper.built()) else {
+                    break;
+                };
+                let next = pending.remove(pos).expect("position from scan");
+                if pos > 0 {
+                    overtakes += 1;
+                }
+                let slot = free_slots.pop().expect("checked non-empty").0;
+                let cost = stepper.begin_build(next);
+                let finish = clock + cost;
+                completions.push(Reverse(Done {
+                    finish,
+                    seq,
+                    event: DoneEvent::Build(next),
+                }));
+                in_flight.push((next, slot, clock, finish, cost));
+                seq += 1;
+            }
+
+            // Once every pending index has completed, trailing slot-free
+            // sentinels are irrelevant: they must not stretch the makespan
+            // or accrue area past the last build.
+            if pending.is_empty() && in_flight.is_empty() {
+                break;
+            }
+
+            // Advance to the earliest completion; accrue the elapsed span
+            // exactly the way the runtime does: when nothing has accrued
+            // since this build started, use its own cost as the duration
+            // (the serial bit-for-bit split), otherwise the remaining span.
+            let Some(Reverse(done)) = completions.pop() else {
+                break;
+            };
+            match done.event {
+                DoneEvent::SlotFree(slot) => {
+                    // An initially-occupied slot drains: the workload keeps
+                    // running at the current rate until then, but nothing in
+                    // the suffix completes.
+                    if done.finish > clock {
+                        let span = done.finish - clock;
+                        realized.add_prod(stepper.runtime(), span);
+                        stepper.accrue(span);
+                        clock = done.finish;
+                    }
+                    free_slots.push(Reverse(slot));
+                }
+                DoneEvent::Build(index) => {
+                    let pos = in_flight
+                        .iter()
+                        .position(|&(i, _, _, _, _)| i == index)
+                        .expect("completion queue tracks in-flight builds");
+                    let (index, slot, start, finish, cost) = in_flight.remove(pos);
+                    let runtime = stepper.runtime();
+                    if clock.to_bits() == start.to_bits() {
+                        realized.add_prod(runtime, cost);
+                        stepper.accrue(cost);
+                    } else {
+                        realized.add_prod(runtime, finish - clock);
+                        stepper.accrue(finish - clock);
+                    }
+                    clock = finish;
+                    stepper.complete_build(index);
+                    free_slots.push(Reverse(slot));
+                }
+            }
+        }
+
+        debug_assert!(
+            pending.is_empty(),
+            "valid order wedged: head blocked with nothing in flight"
+        );
+        SlotScheduleValue {
+            area: realized.value(),
+            makespan: clock,
+            final_runtime: stepper.runtime(),
+            overtakes,
+        }
+    }
+
+    /// Position in `pending` of the next index the dispatch rule admits,
+    /// given the completed set. Head-of-line admits only an eligible head;
+    /// work-conserving admits the first eligible index.
+    fn next_dispatchable(&self, pending: &VecDeque<IndexId>, built: &[bool]) -> Option<usize> {
+        let limit = if self.work_conserving {
+            pending.len()
+        } else {
+            pending.len().min(1)
+        };
+        (0..limit).find(|&pos| self.eligible(pending[pos], built))
+    }
+
+    /// `true` when every precedence prerequisite of `index` has completed —
+    /// the deploy runtime's dispatch gate.
+    fn eligible(&self, index: IndexId, built: &[bool]) -> bool {
+        self.instance
+            .precedences()
+            .iter()
+            .all(|pr| pr.after != index || built[pr.before.raw()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ProblemInstance;
+
+    /// The deploy runtime's hand-computed example: two queries, two
+    /// build-interaction discounts.
+    fn instance() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("slotsched");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(6.0);
+        let i2 = b.add_index(3.0);
+        let i3 = b.add_index(5.0);
+        let q0 = b.add_query(30.0);
+        b.add_plan(q0, vec![i0], 5.0);
+        b.add_plan(q0, vec![i1], 20.0);
+        let q1 = b.add_query(40.0);
+        b.add_plan(q1, vec![i2], 8.0);
+        b.add_plan(q1, vec![i2, i3], 25.0);
+        b.add_build_interaction(i1, i0, 2.0);
+        b.add_build_interaction(i3, i2, 1.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_slot_reproduces_the_serial_area_bit_for_bit() {
+        let inst = instance();
+        for order in [
+            Deployment::from_raw([0, 1, 2, 3]),
+            Deployment::from_raw([1, 0, 3, 2]),
+            Deployment::from_raw([3, 2, 1, 0]),
+        ] {
+            let serial = ObjectiveEvaluator::new(&inst).evaluate(&order);
+            for eval in [
+                SlotScheduleEvaluator::new(&inst, 1),
+                SlotScheduleEvaluator::new(&inst, 1).head_of_line(),
+            ] {
+                let value = eval.evaluate(&order);
+                assert_eq!(value.area.to_bits(), serial.area.to_bits());
+                assert_eq!(value.makespan.to_bits(), serial.deployment_time.to_bits());
+                assert_eq!(value.final_runtime, serial.final_runtime);
+                assert_eq!(value.overtakes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn two_slot_timeline_matches_the_hand_computed_schedule() {
+        // Same schedule as the deploy runtime's hand-computed test:
+        //   slot 0: i0 [0,4]  i2 [4,7]
+        //   slot 1: i1 [0,6]  i3 [6,11]
+        //   realized = 70·4 + 65·2 + 50·1 + 42·4 = 628
+        let inst = instance();
+        let order = Deployment::from_raw([0, 1, 2, 3]);
+        let value = SlotScheduleEvaluator::new(&inst, 2).evaluate(&order);
+        assert!((value.area - 628.0).abs() < 1e-9);
+        assert_eq!(value.makespan, 11.0);
+        assert_eq!(value.final_runtime, 25.0);
+        assert_eq!(value.overtakes, 0);
+    }
+
+    #[test]
+    fn work_conserving_overtakes_a_blocked_head_and_head_of_line_idles() {
+        let mut b = ProblemInstance::builder("gate");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(6.0);
+        let i2 = b.add_index(3.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![i0], 10.0);
+        b.add_plan(q0, vec![i1], 30.0);
+        b.add_plan(q0, vec![i2], 5.0);
+        b.add_precedence(i0, i1);
+        let inst = b.build().unwrap();
+        let order = Deployment::from_raw([0, 1, 2]);
+
+        // Head-of-line: i1 blocks slot 1 until i0 completes at t=4 (i2's
+        // speed-up of 5 is dominated by i0's 10, so its completion at t=7
+        // changes nothing): i0 [0,4], i1 [4,10], i2 [4,7]; runtime 50
+        // →(i0@4) 40; area = 50·4 + 40·6 = 440, makespan 10.
+        let hol = SlotScheduleEvaluator::new(&inst, 2)
+            .head_of_line()
+            .evaluate(&order);
+        assert!((hol.area - 440.0).abs() < 1e-9);
+        assert_eq!(hol.makespan, 10.0);
+        assert_eq!(hol.overtakes, 0);
+
+        // Work-conserving: i2 overtakes into slot 1 at t=0.
+        //   i0 [0,4], i2 [0,3], i1 [4,10]; runtime 50 →(i2@3) 45 →(i0@4)
+        //   40 →(i1@10) 20; area = 50·3 + 45·1 + 40·6 = 435, makespan 10.
+        let wc = SlotScheduleEvaluator::new(&inst, 2).evaluate(&order);
+        assert!((wc.area - 435.0).abs() < 1e-9);
+        assert_eq!(wc.makespan, 10.0);
+        assert_eq!(wc.overtakes, 1);
+        assert!(wc.area < hol.area, "work conservation must not cost more");
+    }
+
+    #[test]
+    fn busy_slots_delay_dispatch_and_accrue_the_occupied_span() {
+        // busy = [3, 0]: slot 1 is free at once, slot 0 drains at t=3.
+        //   slot 1: i0 [0,4]   i2 [4,7]   i3 [7,10.5] (i2 done → cost 3.5)
+        //   slot 0: i1 [3,9]               (i0 in flight → full cost 6)
+        // runtime 70 →(i0@4) 65 →(i2@7) 57 →(i1@9) 42 →(i3@10.5) 25
+        // area = 70·3 + 70·1 + 65·3 + 57·2 + 42·1.5 = 652, makespan 10.5.
+        let inst = instance();
+        let order = Deployment::from_raw([0, 1, 2, 3]);
+        let value = SlotScheduleEvaluator::new(&inst, 2)
+            .with_busy_until(&[3.0, 0.0])
+            .evaluate(&order);
+        assert!((value.area - 652.0).abs() < 1e-9, "{}", value.area);
+        assert_eq!(value.makespan, 10.5);
+        assert_eq!(value.final_runtime, 25.0);
+        assert_eq!(value.overtakes, 0);
+    }
+
+    #[test]
+    fn empty_busy_and_clamped_busy_leave_the_schedule_bit_identical() {
+        let inst = instance();
+        let order = Deployment::from_raw([1, 0, 3, 2]);
+        for slots in [1, 2, 4] {
+            let plain = SlotScheduleEvaluator::new(&inst, slots).evaluate(&order);
+            let empty = SlotScheduleEvaluator::new(&inst, slots)
+                .with_busy_until(&[])
+                .evaluate(&order);
+            // Non-finite and non-positive offsets mean "free at once".
+            let clamped = SlotScheduleEvaluator::new(&inst, slots)
+                .with_busy_until(&[0.0, -2.0, f64::NAN, f64::INFINITY])
+                .evaluate(&order);
+            assert_eq!(empty.area.to_bits(), plain.area.to_bits());
+            assert_eq!(clamped.area.to_bits(), plain.area.to_bits());
+            assert_eq!(clamped.makespan.to_bits(), plain.makespan.to_bits());
+        }
+    }
+
+    #[test]
+    fn a_trailing_sentinel_does_not_stretch_the_makespan() {
+        // One pending index, two slots, the second occupied far past the
+        // schedule: the build runs on the free slot and the evaluator stops
+        // at its completion, not at the sentinel.
+        let mut b = ProblemInstance::builder("tail");
+        let i0 = b.add_index(4.0);
+        let q0 = b.add_query(10.0);
+        b.add_plan(q0, vec![i0], 6.0);
+        let inst = b.build().unwrap();
+        let order = Deployment::from_raw([0]);
+        let value = SlotScheduleEvaluator::new(&inst, 2)
+            .with_busy_until(&[0.0, 100.0])
+            .evaluate(&order);
+        assert!((value.area - 40.0).abs() < 1e-9);
+        assert_eq!(value.makespan, 4.0);
+        assert_eq!(value.final_runtime, 4.0);
+    }
+
+    #[test]
+    fn zero_slots_are_clamped_to_one() {
+        let inst = instance();
+        let order = Deployment::from_raw([2, 3, 0, 1]);
+        let zero = SlotScheduleEvaluator::new(&inst, 0).evaluate_area(&order);
+        let one = SlotScheduleEvaluator::new(&inst, 1).evaluate_area(&order);
+        assert_eq!(zero.to_bits(), one.to_bits());
+    }
+
+    #[test]
+    fn many_slots_run_everything_eligible_at_once() {
+        let inst = instance();
+        let order = Deployment::from_raw([0, 1, 2, 3]);
+        // 4+ slots: all four builds start at t=0, no discounts at all.
+        // Completions at 3 (i2), 4 (i0), 5 (i3), 6 (i1); runtime
+        // 70 →(i2) 62 →(i0) 57 →(i3) 40 →(i1) 25.
+        // area = 70·3 + 62·1 + 57·1 + 40·1 = 369, makespan 6.
+        for slots in [4, 8] {
+            let value = SlotScheduleEvaluator::new(&inst, slots).evaluate(&order);
+            assert!((value.area - 369.0).abs() < 1e-9, "{}", value.area);
+            assert_eq!(value.makespan, 6.0);
+        }
+    }
+}

@@ -186,6 +186,7 @@ impl LnsSolver {
                 self.config.failure_limit,
             );
             if let Some(order) = result.order {
+                let area_before = current_area;
                 current = Deployment::new(order);
                 delta.set_base(current.clone());
                 // The reinsertion search's running sum is naive; publish the
@@ -198,8 +199,9 @@ impl LnsSolver {
                 trajectory.record(clock.elapsed_seconds(), current_area);
                 ctx.publish_deployment(current_area, current.order());
                 if coop.policy().steals() {
-                    // This destroy set just paid off — share it.
-                    ctx.hints().push(relaxed);
+                    // This destroy set just paid off — share it, valued at
+                    // what it paid.
+                    ctx.hints().push_scored(relaxed, area_before - current_area);
                     coop.stats.hints_published += 1;
                 }
                 coop.note_improvement();
@@ -237,12 +239,13 @@ impl LnsSolver {
                     }
                 }
                 if area < current_area - 1e-12 {
+                    let gain = current_area - area;
                     current = delta.base().clone();
                     current_area = area;
                     trajectory.record(clock.elapsed_seconds(), current_area);
                     ctx.publish_deployment(current_area, current.order());
                     if coop.policy().steals() {
-                        ctx.hints().push(relaxed);
+                        ctx.hints().push_scored(relaxed, gain);
                         coop.stats.hints_published += 1;
                     }
                     coop.note_improvement();

@@ -204,13 +204,15 @@ impl TabuSolver {
             tabu_until[ib.raw()] = iteration + self.config.tabu_length;
 
             if area < best_area - 1e-12 {
+                let gain = best_area - area;
                 best_area = area;
                 best_order = evaluator.base().clone();
                 trajectory.record(clock.elapsed_seconds(), best_area);
                 ctx.publish_deployment(best_area, best_order.order());
                 if coop.policy().steals() {
-                    // The improving pair is a natural 2-index destroy set.
-                    ctx.hints().push(vec![ia, ib]);
+                    // The improving pair is a natural 2-index destroy set,
+                    // valued at the improvement it just bought.
+                    ctx.hints().push_scored(vec![ia, ib], gain);
                     coop.stats.hints_published += 1;
                 }
                 coop.note_improvement();

@@ -187,6 +187,7 @@ impl VnsSolver {
                 failure_limit,
             );
             if let Some(order) = result.order {
+                let area_before = current_area;
                 current = Deployment::new(order);
                 delta.set_base(current.clone());
                 // The reinsertion search's running sum is naive; publish the
@@ -241,8 +242,10 @@ impl VnsSolver {
                 ctx.publish_deployment(current_area, current.order());
                 if coop.policy().steals() {
                     // Feed the deque: this relaxation just paid off, so an
-                    // LNS worker on another thread may profit from it too.
-                    ctx.hints().push(relaxed);
+                    // LNS worker on another thread may profit from it too —
+                    // valued at the improvement it produced (polish
+                    // included).
+                    ctx.hints().push_scored(relaxed, area_before - current_area);
                     coop.stats.hints_published += 1;
                 }
                 coop.note_improvement();

@@ -35,7 +35,10 @@ use crate::local::{
 use crate::portfolio::{PortfolioConfig, PortfolioSolver};
 use crate::result::CoopStats;
 use crate::solver::{CooperationPolicy, SolveContext, Solver};
-use idd_core::{Deployment, IndexId, ObjectiveEvaluator, ProblemInstance, ResidualInstance};
+use idd_core::{
+    Deployment, IndexId, ObjectiveEvaluator, ProblemInstance, ResidualInstance,
+    SlotScheduleEvaluator,
+};
 
 /// How to re-optimize a residual instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,13 +70,54 @@ impl ReplanStrategy {
     }
 }
 
-/// A replanner: strategy + per-replan budget.
+/// How candidate suffix orders are *scored* (and therefore ranked) during
+/// a replan. Orthogonal to the [`ReplanStrategy`], which decides how
+/// candidates are *generated*.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SuffixScoring {
+    /// The serial objective area
+    /// ([`ObjectiveEvaluator::evaluate_area`]) — the paper's one-build-at-
+    /// a-time model, and the default. Exact for a serial executor; a proxy
+    /// for a concurrent one.
+    #[default]
+    Serial,
+    /// The realized k-slot area: each candidate is list-scheduled onto
+    /// `slots` concurrent build slots by [`SlotScheduleEvaluator`] (under
+    /// work-conserving or head-of-line dispatch, matching the executing
+    /// runtime), so candidates are ranked by the cost the runtime will
+    /// actually realize on a quiet tail. With `slots = 1` this coincides
+    /// with [`SuffixScoring::Serial`] bit-for-bit.
+    SlotAware {
+        /// Number of concurrent build slots to schedule onto.
+        slots: usize,
+        /// `true` to list-schedule with work-conserving dispatch (first
+        /// eligible pending index runs), `false` for head-of-line.
+        work_conserving: bool,
+    },
+}
+
+impl SuffixScoring {
+    /// Short label for reports ("serial" / "slot-aware").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuffixScoring::Serial => "serial",
+            SuffixScoring::SlotAware { .. } => "slot-aware",
+        }
+    }
+}
+
+/// A replanner: strategy + per-replan budget + candidate scoring.
 #[derive(Debug, Clone)]
 pub struct Replanner {
     /// The strategy to apply at every replan point.
     pub strategy: ReplanStrategy,
     /// Budget for each replan (node budgets keep runs machine-independent).
     pub budget: SearchBudget,
+    /// How candidates are scored ([`SuffixScoring::Serial`] by default).
+    /// The internal searches always *optimize* the serial objective (that
+    /// is what their delta evaluators speak); the scoring decides which
+    /// candidate — warm start included — *wins*.
+    pub scoring: SuffixScoring,
 }
 
 /// The outcome of one replan over a residual instance.
@@ -81,9 +125,12 @@ pub struct Replanner {
 pub struct ReplanOutcome {
     /// The chosen suffix order, in *residual* ids.
     pub deployment: Deployment,
-    /// Its objective area on the residual instance.
+    /// Its objective on the residual instance, under the replanner's
+    /// configured [`SuffixScoring`] (serial area by default, realized
+    /// k-slot area when slot-aware).
     pub objective: f64,
-    /// The objective of the warm-start order, if one was usable.
+    /// The objective of the warm-start order under the same scoring, if one
+    /// was usable.
     pub warm_start_objective: Option<f64>,
     /// Which solver produced the chosen order ("warm-start" when nothing
     /// beat the incumbent plan).
@@ -97,9 +144,46 @@ pub struct ReplanOutcome {
 }
 
 impl Replanner {
-    /// Creates a replanner.
+    /// Creates a replanner with the default (serial) candidate scoring.
     pub fn new(strategy: ReplanStrategy, budget: SearchBudget) -> Self {
-        Self { strategy, budget }
+        Self {
+            strategy,
+            budget,
+            scoring: SuffixScoring::default(),
+        }
+    }
+
+    /// Sets the candidate scoring.
+    pub fn with_scoring(mut self, scoring: SuffixScoring) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// The slot-schedule evaluator the configured scoring calls for, if it
+    /// is genuinely different from the serial objective (`slots > 1`).
+    /// `busy_until` marks slots still occupied at the replan point (offsets
+    /// from the residual's t = 0 at which they free up).
+    fn slot_evaluator<'a>(
+        &self,
+        residual: &'a ProblemInstance,
+        busy_until: &[f64],
+    ) -> Option<SlotScheduleEvaluator<'a>> {
+        match self.scoring {
+            SuffixScoring::Serial => None,
+            SuffixScoring::SlotAware { slots, .. } if slots <= 1 => None,
+            SuffixScoring::SlotAware {
+                slots,
+                work_conserving,
+            } => {
+                let evaluator =
+                    SlotScheduleEvaluator::new(residual, slots).with_busy_until(busy_until);
+                Some(if work_conserving {
+                    evaluator
+                } else {
+                    evaluator.head_of_line()
+                })
+            }
+        }
     }
 
     /// Re-optimizes `residual`, warm-starting from `warm_start` (the
@@ -115,11 +199,37 @@ impl Replanner {
         residual: &ProblemInstance,
         warm_start: Option<&Deployment>,
     ) -> ReplanOutcome {
+        self.replan_occupied(residual, warm_start, &[])
+    }
+
+    /// [`Replanner::replan`], with slots still occupied at the replan
+    /// point: `busy_until[i]` is the offset (from the residual's t = 0) at
+    /// which the i-th occupied slot frees up — what a mid-flight replan sees
+    /// while committed builds drain. Only slot-aware scoring reads it; a
+    /// serial proxy has no slots to occupy. An empty slice is exactly
+    /// [`Replanner::replan`].
+    pub fn replan_occupied(
+        &self,
+        residual: &ProblemInstance,
+        warm_start: Option<&Deployment>,
+        busy_until: &[f64],
+    ) -> ReplanOutcome {
         let started = std::time::Instant::now();
         let evaluator = ObjectiveEvaluator::new(residual);
+        // With slot-aware scoring every candidate — warm start included —
+        // is ranked by its realized k-slot area; the solvers underneath
+        // still *search* with the serial objective (their delta evaluators
+        // speak serial), so this re-scores their outputs. With serial
+        // scoring (or one slot) the closure is the plain serial area and
+        // behavior is unchanged bit-for-bit.
+        let slot_evaluator = self.slot_evaluator(residual, busy_until);
+        let score = |d: &Deployment| match &slot_evaluator {
+            Some(slot) => slot.evaluate_area(d),
+            None => evaluator.evaluate_area(d),
+        };
         let warm = warm_start
             .filter(|d| d.is_valid_for(residual))
-            .map(|d| (d.clone(), evaluator.evaluate_area(d)));
+            .map(|d| (d.clone(), score(d)));
         let warm_objective = warm.as_ref().map(|(_, a)| *a);
 
         let mut best = warm
@@ -130,7 +240,7 @@ impl Replanner {
                 // greedy provides the incumbent every strategy measures
                 // against.
                 let d = GreedySolver::new().construct(residual);
-                let a = evaluator.evaluate_area(&d);
+                let a = score(&d);
                 (d, a, "greedy".to_string())
             });
 
@@ -139,7 +249,7 @@ impl Replanner {
             ReplanStrategy::KeepOrder => {}
             ReplanStrategy::Greedy => {
                 let d = GreedySolver::new().construct(residual);
-                let a = evaluator.evaluate_area(&d);
+                let a = score(&d);
                 if a < best.1 - 1e-12 {
                     best = (d, a, "greedy".to_string());
                 }
@@ -159,17 +269,28 @@ impl Replanner {
                 });
                 // Publish the in-flight order so warm-start members adopt it
                 // and every observer sees "never worse than the plan we
-                // already had".
+                // already had". The incumbent lives in the members' search
+                // domain — the *serial* objective — so the warm start is
+                // published at its serial area even when candidates are
+                // ranked slot-aware (identical bits under serial scoring).
                 let ctx = SolveContext::new();
-                if let Some((d, a)) = &warm {
-                    ctx.publish_deployment(*a, d.order());
+                if let Some((d, _)) = &warm {
+                    ctx.publish_deployment(evaluator.evaluate_area(d), d.order());
                 }
                 let outcome = portfolio.solve_detailed_in(residual, &ctx);
                 coop = outcome.combined.coop;
                 for member in &outcome.members {
                     if let Some(d) = &member.deployment {
-                        if member.objective < best.1 - 1e-12 {
-                            best = (d.clone(), member.objective, member.solver.clone());
+                        // Members report the serial area they searched
+                        // with; under slot-aware scoring each candidate is
+                        // re-scored by the k-slot schedule before it may
+                        // unseat the incumbent.
+                        let objective = match &slot_evaluator {
+                            Some(slot) => slot.evaluate_area(d),
+                            None => member.objective,
+                        };
+                        if objective < best.1 - 1e-12 {
+                            best = (d.clone(), objective, member.solver.clone());
                         }
                     }
                 }
@@ -213,8 +334,21 @@ impl Replanner {
         residual: &ResidualInstance,
         pending: &[IndexId],
     ) -> Option<(ReplanOutcome, Vec<IndexId>)> {
+        self.replan_around_occupied(residual, pending, &[])
+    }
+
+    /// [`Replanner::replan_around`], with slots still occupied by the
+    /// in-flight builds the residual was conditioned on: `busy_until[i]` is
+    /// the offset from the replan point at which the i-th in-flight build
+    /// finishes and its slot frees up. Only slot-aware scoring reads it.
+    pub fn replan_around_occupied(
+        &self,
+        residual: &ResidualInstance,
+        pending: &[IndexId],
+        busy_until: &[f64],
+    ) -> Option<(ReplanOutcome, Vec<IndexId>)> {
         let warm = residual.project_order(pending)?;
-        let outcome = self.replan(residual.instance(), Some(&warm));
+        let outcome = self.replan_occupied(residual.instance(), Some(&warm), busy_until);
         let new_pending = residual.lift_order(outcome.deployment.order());
         debug_assert!(
             new_pending
@@ -413,6 +547,85 @@ mod tests {
     }
 
     #[test]
+    fn slot_aware_scoring_with_one_slot_is_bit_identical_to_serial() {
+        // `SlotAware { slots: 1 }` short-circuits to the serial evaluator,
+        // so every candidate scores identically and the whole outcome —
+        // winner, objective bits, solver label — is unchanged.
+        let inst = residual_like(6);
+        let warm = Deployment::identity(6);
+        let strategy = ReplanStrategy::Portfolio {
+            cooperation: CooperationPolicy::Off,
+            cancel_on_optimal: false,
+        };
+        let serial = Replanner::new(strategy, SearchBudget::nodes(50)).replan(&inst, Some(&warm));
+        for work_conserving in [false, true] {
+            let slot = Replanner::new(strategy, SearchBudget::nodes(50))
+                .with_scoring(SuffixScoring::SlotAware {
+                    slots: 1,
+                    work_conserving,
+                })
+                .replan(&inst, Some(&warm));
+            assert_eq!(slot.objective.to_bits(), serial.objective.to_bits());
+            assert_eq!(slot.deployment, serial.deployment);
+            assert_eq!(slot.solver, serial.solver);
+            assert_eq!(
+                slot.warm_start_objective.map(f64::to_bits),
+                serial.warm_start_objective.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn slot_aware_scoring_keeps_a_slot_friendly_warm_start() {
+        // Three equal-cost indexes; i1 carries the big speedup but is gated
+        // behind i0. Serially the greedy order [i0, i1, i2] wins (unlock the
+        // 40s speedup as early as possible: area 90·4 + 80·4 + 40·4 = 840 vs
+        // the warm start's 90·4 + 80·4 + 72·4 = 968). On two head-of-line
+        // slots the picture flips: [i0, i1, i2] idles slot 1 behind the gate
+        // (area 90·4 + 80·4 = 680) while the in-flight order [i0, i2, i1]
+        // keeps both slots busy (90·4 + 72·4 = 648). Serial scoring must
+        // replace the warm start; slot-aware must keep it.
+        let mut b = ProblemInstance::builder("slots");
+        let i0 = b.add_index(4.0);
+        let i1 = b.add_index(4.0);
+        let i2 = b.add_index(4.0);
+        let q0 = b.add_query(20.0);
+        b.add_plan(q0, vec![i0], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![i1], 40.0);
+        let q2 = b.add_query(20.0);
+        b.add_plan(q2, vec![i2], 8.0);
+        b.add_precedence(i0, i1);
+        let inst = b.build().unwrap();
+        let warm = Deployment::from_raw([0, 2, 1]);
+
+        let serial = Replanner::new(ReplanStrategy::Greedy, SearchBudget::nodes(10))
+            .replan(&inst, Some(&warm));
+        assert_eq!(serial.deployment, Deployment::from_raw([0, 1, 2]));
+        assert_eq!(serial.solver, "greedy");
+        assert!((serial.objective - 840.0).abs() < 1e-9);
+        assert!(serial.improved);
+
+        let slot_aware = Replanner::new(ReplanStrategy::Greedy, SearchBudget::nodes(10))
+            .with_scoring(SuffixScoring::SlotAware {
+                slots: 2,
+                work_conserving: false,
+            })
+            .replan(&inst, Some(&warm));
+        assert_eq!(slot_aware.deployment, warm, "slot-friendly order survives");
+        assert_eq!(slot_aware.solver, "warm-start");
+        assert!((slot_aware.objective - 648.0).abs() < 1e-9);
+        assert_eq!(slot_aware.warm_start_objective, Some(slot_aware.objective));
+        assert!(!slot_aware.improved);
+
+        // The reported objective really is the realized two-slot area.
+        let realized = SlotScheduleEvaluator::new(&inst, 2)
+            .head_of_line()
+            .evaluate_area(&slot_aware.deployment);
+        assert_eq!(slot_aware.objective.to_bits(), realized.to_bits());
+    }
+
+    #[test]
     fn strategy_labels() {
         assert_eq!(ReplanStrategy::KeepOrder.label(), "static");
         assert_eq!(ReplanStrategy::Greedy.label(), "greedy");
@@ -424,5 +637,15 @@ mod tests {
             .label(),
             "portfolio"
         );
+        assert_eq!(SuffixScoring::Serial.label(), "serial");
+        assert_eq!(
+            SuffixScoring::SlotAware {
+                slots: 4,
+                work_conserving: true
+            }
+            .label(),
+            "slot-aware"
+        );
+        assert_eq!(SuffixScoring::default(), SuffixScoring::Serial);
     }
 }

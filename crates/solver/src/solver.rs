@@ -271,19 +271,50 @@ impl std::str::FromStr for CooperationPolicy {
     }
 }
 
+/// One queued destroy-neighbourhood hint: the index set, the objective
+/// improvement its relaxation produced (the hint's *value*), and the push
+/// clock at which it was published (its *age*).
+#[derive(Debug)]
+struct HintEntry {
+    hint: Vec<IndexId>,
+    score: f64,
+    born: u64,
+}
+
+/// The mutexed interior of [`NeighborhoodHints`]: entries in publication
+/// order (so `born` is non-decreasing front to back) plus the push clock.
+#[derive(Debug, Default)]
+struct HintState {
+    entries: VecDeque<HintEntry>,
+    clock: u64,
+}
+
 /// A small bounded work-stealing deque of *destroy-neighbourhood hints*:
 /// index sets whose relaxation recently produced an improvement somewhere in
 /// the portfolio. Owned by the portfolio run (via [`SolveContext`]); local
-/// searches push on improvement, LNS workers steal from the front.
+/// searches push on improvement, LNS workers steal.
 ///
-/// Bounded FIFO semantics: pushes beyond the capacity evict the oldest hint
-/// (stale neighbourhoods lose value quickly), steals pop the oldest
-/// remaining. A mutexed ring buffer is deliberately chosen over a fancier
-/// lock-free deque: hints flow at improvement frequency (a few per second),
-/// so contention is negligible and the invariants stay obvious.
+/// Hints are *scored* by the improvement that produced them and *aged* by a
+/// push clock, fixing two failure modes of a blind bounded FIFO: a burst of
+/// marginal improvements could flush the one hint that mattered, and a hint
+/// could sit forever in a quiet deque long after its neighbourhood went
+/// stale. Semantics:
+///
+/// * **Steal** returns the highest-scored hint (ties: oldest first).
+/// * **Eviction** at capacity removes the lowest-scored hint — and when the
+///   incoming hint scores strictly below every queued one, the incoming
+///   hint itself is the one dropped.
+/// * **Aging:** every push advances a clock; entries older than
+///   [`NeighborhoodHints::AGE_LIMIT`] pushes are discarded.
+///
+/// With all-equal scores (e.g. every publisher using [`push`](Self::push))
+/// this degenerates to exactly the old bounded-FIFO behaviour. A mutexed
+/// ring buffer is deliberately chosen over a fancier lock-free deque: hints
+/// flow at improvement frequency (a few per second), so contention is
+/// negligible and the invariants stay obvious.
 #[derive(Debug)]
 pub struct NeighborhoodHints {
-    deque: Mutex<VecDeque<Vec<IndexId>>>,
+    state: Mutex<HintState>,
     capacity: usize,
 }
 
@@ -294,44 +325,100 @@ impl Default for NeighborhoodHints {
 }
 
 impl NeighborhoodHints {
+    /// A hint published more than this many pushes ago is stale: the search
+    /// has moved on, and relaxing a neighbourhood that paid off 64
+    /// improvements earlier is no better than a random draw.
+    pub const AGE_LIMIT: u64 = 64;
+
     /// An empty deque holding at most `capacity` hints.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            deque: Mutex::new(VecDeque::new()),
+            state: Mutex::new(HintState::default()),
             capacity: capacity.max(1),
         }
     }
 
-    /// Publishes a hint, evicting the oldest one when full. Empty hints are
-    /// ignored (nothing to relax).
+    /// Publishes an unscored hint — equivalent to
+    /// [`push_scored`](Self::push_scored) with a zero improvement.
     pub fn push(&self, hint: Vec<IndexId>) {
+        self.push_scored(hint, 0.0);
+    }
+
+    /// Publishes a hint valued at the objective `improvement` its
+    /// relaxation produced. Empty hints are ignored (nothing to relax);
+    /// non-finite or negative improvements are clamped to zero.
+    pub fn push_scored(&self, hint: Vec<IndexId>, improvement: f64) {
         if hint.is_empty() {
             return;
         }
-        let mut deque = self.lock();
-        if deque.len() >= self.capacity {
-            deque.pop_front();
+        let score = if improvement.is_finite() && improvement > 0.0 {
+            improvement
+        } else {
+            0.0
+        };
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        while state
+            .entries
+            .front()
+            .is_some_and(|e| e.born + Self::AGE_LIMIT <= clock)
+        {
+            state.entries.pop_front();
         }
-        deque.push_back(hint);
+        if state.entries.len() >= self.capacity {
+            // Scan front-to-back with strict `<` so ties evict the oldest.
+            let (weakest, weakest_score) =
+                state
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .fold((0, f64::INFINITY), |acc, (k, e)| {
+                        if e.score < acc.1 {
+                            (k, e.score)
+                        } else {
+                            acc
+                        }
+                    });
+            if score < weakest_score {
+                return; // the incoming hint is the weakest: drop it
+            }
+            state.entries.remove(weakest);
+        }
+        state.entries.push_back(HintEntry {
+            hint,
+            score,
+            born: clock,
+        });
     }
 
-    /// Steals the oldest hint, if any.
+    /// Steals the highest-scored hint (ties: oldest), if any.
     pub fn steal(&self) -> Option<Vec<IndexId>> {
-        self.lock().pop_front()
+        let mut state = self.lock();
+        let best = state
+            .entries
+            .iter()
+            .enumerate()
+            .fold(None::<(usize, f64)>, |acc, (k, e)| match acc {
+                Some((_, s)) if e.score <= s => acc,
+                _ => Some((k, e.score)),
+            })?
+            .0;
+        state.entries.remove(best).map(|e| e.hint)
     }
 
     /// Number of queued hints.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.lock().entries.len()
     }
 
     /// `true` when no hints are queued.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.lock().entries.is_empty()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Vec<IndexId>>> {
-        self.deque
+    fn lock(&self) -> std::sync::MutexGuard<'_, HintState> {
+        self.state
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
@@ -603,6 +690,74 @@ mod tests {
         ctx.hints().push(ids(&[3, 4]));
         assert_eq!(clone.hints().steal(), Some(ids(&[3, 4])));
         assert!(clone.cooperation().steals());
+    }
+
+    #[test]
+    fn high_value_hints_survive_a_burst_of_low_value_ones() {
+        // The regression the scored deque exists for: under blind FIFO
+        // eviction, a burst of marginal improvements flushed the one hint
+        // that mattered before any LNS worker could steal it.
+        let hints = NeighborhoodHints::with_capacity(2);
+        hints.push_scored(ids(&[7, 8]), 120.0);
+        for k in 0..5 {
+            hints.push_scored(ids(&[k]), 0.5);
+        }
+        assert_eq!(hints.len(), 2);
+        assert_eq!(
+            hints.steal(),
+            Some(ids(&[7, 8])),
+            "the valuable hint survives and is stolen first"
+        );
+        // The survivor among the low burst is the oldest that fit: pushes
+        // after capacity evict the weakest, and on score ties the oldest
+        // goes — so the last burst hint remains.
+        assert_eq!(hints.steal(), Some(ids(&[4])));
+        assert_eq!(hints.steal(), None);
+
+        // An incoming hint weaker than everything queued is itself the one
+        // dropped.
+        let full = NeighborhoodHints::with_capacity(2);
+        full.push_scored(ids(&[0]), 10.0);
+        full.push_scored(ids(&[1]), 5.0);
+        full.push_scored(ids(&[2]), 1.0);
+        assert_eq!(full.steal(), Some(ids(&[0])));
+        assert_eq!(full.steal(), Some(ids(&[1])));
+        assert_eq!(full.steal(), None);
+
+        // Non-finite and negative improvements are clamped, never poison
+        // the ranking.
+        let odd = NeighborhoodHints::with_capacity(4);
+        odd.push_scored(ids(&[0]), f64::NAN);
+        odd.push_scored(ids(&[1]), f64::NEG_INFINITY);
+        odd.push_scored(ids(&[2]), 3.0);
+        assert_eq!(odd.steal(), Some(ids(&[2])));
+        assert_eq!(odd.len(), 2);
+    }
+
+    #[test]
+    fn stale_hints_age_out_by_push_clock() {
+        // Capacity large enough that nothing is evicted by fullness: after
+        // AGE_LIMIT further pushes, the once-valuable hint is stale and must
+        // be gone even though it still outranks everything on score.
+        let hints = NeighborhoodHints::with_capacity(256);
+        hints.push_scored(ids(&[42, 43]), 1_000.0);
+        for k in 0..NeighborhoodHints::AGE_LIMIT {
+            hints.push_scored(ids(&[k as usize % 7]), 0.1);
+        }
+        assert_eq!(hints.len(), NeighborhoodHints::AGE_LIMIT as usize);
+        assert_ne!(
+            hints.steal(),
+            Some(ids(&[42, 43])),
+            "a hint {} pushes old is a random draw, not a prize",
+            NeighborhoodHints::AGE_LIMIT
+        );
+        // One push short of the limit, the hint is still alive and wins.
+        let fresh = NeighborhoodHints::with_capacity(256);
+        fresh.push_scored(ids(&[42, 43]), 1_000.0);
+        for k in 0..NeighborhoodHints::AGE_LIMIT - 1 {
+            fresh.push_scored(ids(&[k as usize % 7]), 0.1);
+        }
+        assert_eq!(fresh.steal(), Some(ids(&[42, 43])));
     }
 
     #[test]
