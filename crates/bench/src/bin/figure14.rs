@@ -1,0 +1,335 @@
+//! "Figure 14" — realized cost over the deployment clock (not in the
+//! paper).
+//!
+//! The paper's figures plot solver objectives over *optimization* time;
+//! this one plots the realized cumulative cost over *deployment* time. The
+//! deployment journal makes the series free: every `Complete` record
+//! carries the exact cumulative realized cost at its completion clock, so
+//! the polyline is read straight off the journal — no re-integration, no
+//! rounding — and the same journal is then replayed against the seed
+//! instance to prove the series is the ground truth (the replayed report
+//! must match the executed one bit-for-bit, or the process exits non-zero).
+//!
+//! Flags: `--slots <k>` (a single slot count instead of the 1/2/4 sweep),
+//! `--seed <n>` (synthetic instance + scenario seeds), `--json <path>`
+//! (machine-readable trajectories, `BENCH_figure14.json`), `--tiny`
+//! (hand-specified instance + scenarios, CP-proven optimal initial plan —
+//! bit-for-bit reproducible, diffed by the golden test), `--dump <dir>`
+//! (with `--tiny`: write the richest run's `instance.json` / `plan.json` /
+//! `journal.jsonl` / `report.json` for the `replay` binary to consume).
+
+use idd_bench::{parse_flag_value, BenchSeries, HarnessArgs, SeriesJson, SeriesPoint, Table};
+use idd_core::{Deployment, EvolutionScenario, JournalRecord, ObjectiveEvaluator, ProblemInstance};
+use idd_deploy::{replay, DeployConfig, DeployRuntime, DeploymentJournal, DeploymentReport};
+use idd_solver::exact::{CpConfig, CpSolver};
+use idd_solver::prelude::*;
+use idd_workloads::evolution::{
+    drift_scenario, failure_scenario, mixed_scenario, revision_scenario, EvolutionConfig,
+};
+use idd_workloads::synthetic::{generate, SyntheticConfig};
+
+/// The slot counts of the sweep: `--slots k` narrows to one (the CI smoke
+/// run), the default compares 1 / 2 / 4.
+fn slot_counts() -> Vec<usize> {
+    match parse_flag_value("figure14", "--slots") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(k) if k >= 1 => vec![k],
+            _ => {
+                eprintln!("figure14: --slots expects a positive integer, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+        None => vec![1, 2, 4],
+    }
+}
+
+struct Run {
+    scenario: String,
+    slots: usize,
+    report: DeploymentReport,
+    journal: DeploymentJournal,
+}
+
+fn run_matrix(
+    instance: &ProblemInstance,
+    plan: &Deployment,
+    scenarios: &[EvolutionScenario],
+    slot_counts: &[usize],
+) -> Vec<Run> {
+    let mut runs = Vec::new();
+    for scenario in scenarios {
+        for &slots in slot_counts {
+            let config = DeployConfig::greedy_replan().with_build_slots(slots);
+            let (report, journal) = DeployRuntime::new(config)
+                .execute_journaled(instance, plan, scenario)
+                .unwrap_or_else(|e| {
+                    eprintln!("figure14: {slots} slots on {}: {e}", scenario.name);
+                    std::process::exit(1);
+                });
+            runs.push(Run {
+                scenario: scenario.name.clone(),
+                slots,
+                report,
+                journal,
+            });
+        }
+    }
+    runs
+}
+
+/// The realized-cost polyline: the origin, then one vertex per `Complete`
+/// record — `(finish clock, cumulative realized cost)`, verbatim from the
+/// journal.
+fn polyline(journal: &DeploymentJournal) -> Vec<SeriesPoint> {
+    let mut points = vec![SeriesPoint {
+        clock: 0.0,
+        value: 0.0,
+    }];
+    for record in journal.records() {
+        if let JournalRecord::Complete(c) = record {
+            points.push(SeriesPoint {
+                clock: c.clock,
+                value: c.realized,
+            });
+        }
+    }
+    points
+}
+
+/// Round-trips the journal through JSONL and replays it against the seed
+/// instance; the replayed report must reproduce the executed one — the
+/// headline accumulators bit-for-bit, every other field exactly.
+fn replay_verdict(instance: &ProblemInstance, plan: &Deployment, run: &Run) -> Result<(), String> {
+    let round = DeploymentJournal::from_jsonl(&run.journal.to_jsonl())
+        .map_err(|e| format!("JSONL round trip failed: {e}"))?;
+    if round != run.journal {
+        return Err("JSONL round trip changed the journal".into());
+    }
+    let replayed = replay(instance, plan, &round).map_err(|e| format!("replay failed: {e}"))?;
+    for (what, executed, rebuilt) in [
+        (
+            "realized cost",
+            run.report.realized_cost,
+            replayed.realized_cost,
+        ),
+        (
+            "final runtime",
+            run.report.final_runtime,
+            replayed.final_runtime,
+        ),
+        ("total clock", run.report.total_clock, replayed.total_clock),
+    ] {
+        if executed.to_bits() != rebuilt.to_bits() {
+            return Err(format!("{what} diverged: {executed} vs {rebuilt}"));
+        }
+    }
+    if replayed != run.report {
+        return Err("replayed report differs from the executed one".into());
+    }
+    Ok(())
+}
+
+fn render(
+    runs: &[Run],
+    instance: &ProblemInstance,
+    plan: &Deployment,
+    config_line: &str,
+    json_path: Option<&str>,
+) {
+    println!("-- realized-cost polylines (clock:cumulative cost, one vertex per completion) --\n");
+    for run in runs {
+        let line = polyline(&run.journal)
+            .iter()
+            .map(|p| format!("{:.2}:{:.2}", p.clock, p.value))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        println!("{} x{}: {}", run.scenario, run.slots, line);
+    }
+    println!();
+
+    let mut table = Table::new(vec![
+        "scenario",
+        "slots",
+        "builds",
+        "journal records",
+        "replans",
+        "retries",
+        "final cost",
+        "makespan",
+        "replay",
+    ]);
+    let mut json = SeriesJson::new("figure14", config_line);
+    let mut gate_failed = false;
+    for run in runs {
+        let verdict = match replay_verdict(instance, plan, run) {
+            Ok(()) => "bit-for-bit".to_string(),
+            Err(e) => {
+                eprintln!(
+                    "figure14: GATE FAILED on {} x{} slots: {e}",
+                    run.scenario, run.slots
+                );
+                gate_failed = true;
+                "DIVERGED".to_string()
+            }
+        };
+        table.row(vec![
+            run.scenario.clone(),
+            run.slots.to_string(),
+            run.report.builds.len().to_string(),
+            run.journal.len().to_string(),
+            run.report.replans.len().to_string(),
+            run.report.retries.to_string(),
+            format!("{:.2}", run.report.realized_cost),
+            format!("{:.2}", run.report.total_clock),
+            verdict,
+        ]);
+        json.push(BenchSeries {
+            run: format!("{}-slots-{}", run.scenario, run.slots),
+            scenario: run.scenario.clone(),
+            slots: run.slots as u64,
+            final_cost: run.report.realized_cost,
+            total_clock: run.report.total_clock,
+            points: polyline(&run.journal),
+        });
+    }
+    println!("{}", table.render());
+    println!(
+        "gate: every journal survives the JSONL round trip and replays to its report bit-for-bit: {}",
+        if gate_failed { "FAILED" } else { "ok" }
+    );
+    json.write_if_requested("figure14", json_path);
+    if gate_failed {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "--tiny");
+    let json_path = parse_flag_value("figure14", "--json");
+    let dump_dir = parse_flag_value("figure14", "--dump");
+    let slot_counts = slot_counts();
+    if tiny {
+        run_tiny(&slot_counts, json_path.as_deref(), dump_dir.as_deref());
+        return;
+    }
+    if dump_dir.is_some() {
+        eprintln!("figure14: --dump requires --tiny (the dump is golden-stable by design)");
+        std::process::exit(2);
+    }
+
+    let args = HarnessArgs::parse(HarnessArgs::default());
+    println!(
+        "== Figure 14: realized cost over the deployment clock (seed {}) ==\n",
+        args.seed
+    );
+    let instance = generate(SyntheticConfig::medium(args.seed));
+    let plan = GreedySolver::new().construct(&instance);
+    let offline = ObjectiveEvaluator::new(&instance).evaluate_area(&plan);
+    println!(
+        "instance: synthetic-{}, {} indexes / {} queries / {} plans; offline objective {:.2}; slots {:?}\n",
+        args.seed,
+        instance.num_indexes(),
+        instance.num_queries(),
+        instance.num_plans(),
+        offline,
+        slot_counts,
+    );
+    let cfg = EvolutionConfig {
+        seed: args.seed,
+        ..EvolutionConfig::default()
+    };
+    let scenarios = vec![
+        EvolutionScenario::quiet("quiet"),
+        drift_scenario(&instance, &cfg),
+        revision_scenario(&instance, &cfg),
+        failure_scenario(&instance, &cfg),
+        mixed_scenario(&instance, &cfg),
+    ];
+    let runs = run_matrix(&instance, &plan, &scenarios, &slot_counts);
+    render(
+        &runs,
+        &instance,
+        &plan,
+        &format!(
+            "synthetic-{} offline objective {offline:.2}; greedy replan",
+            args.seed
+        ),
+        json_path.as_deref(),
+    );
+}
+
+/// Golden-tested deterministic mode: the hand-specified tiny instance and
+/// scenarios, the CP-proven optimal initial plan, greedy replanning — every
+/// number is machine-independent, so the golden test pins the polylines,
+/// the journal record counts, and the replay verdicts alike.
+fn run_tiny(slot_counts: &[usize], json_path: Option<&str>, dump_dir: Option<&str>) {
+    println!("== Figure 14 (tiny): realized cost over the deployment clock ==\n");
+    let instance = idd_bench::tiny();
+    let exact = CpSolver::with_config(CpConfig::with_properties(SearchBudget::unlimited()))
+        .solve(&instance);
+    assert!(exact.is_optimal(), "CP must prove the tiny instance");
+    let plan = exact.deployment.expect("optimal run has a deployment");
+    println!(
+        "instance: tiny, {} indexes / {} queries / {} plans; offline optimum {:.2} via {}; slots {:?}\n",
+        instance.num_indexes(),
+        instance.num_queries(),
+        instance.num_plans(),
+        exact.objective,
+        plan.arrow_notation(),
+        slot_counts,
+    );
+
+    let runs = run_matrix(&instance, &plan, &idd_bench::tiny_scenarios(), slot_counts);
+    if let Some(dir) = dump_dir {
+        dump_richest_run(dir, &instance, &plan, &runs);
+    }
+    render(
+        &runs,
+        &instance,
+        &plan,
+        &format!("tiny offline optimum {:.2}; greedy replan", exact.objective),
+        json_path,
+    );
+}
+
+/// Writes the replay-CLI input set for the run with the most journal
+/// records (events, failures and replans make the richest audit trail):
+/// `instance.json`, `plan.json`, `journal.jsonl` and the executed
+/// `report.json` the replay must reproduce.
+fn dump_richest_run(dir: &str, instance: &ProblemInstance, plan: &Deployment, runs: &[Run]) {
+    let richest = runs
+        .iter()
+        .max_by_key(|r| r.journal.len())
+        .expect("matrix is non-empty");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("figure14: cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
+    let write = |name: &str, contents: String| {
+        let path = format!("{dir}/{name}");
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("figure14: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("figure14: wrote {path}");
+    };
+    write(
+        "instance.json",
+        serde_json::to_string_pretty(instance).expect("instance serializes") + "\n",
+    );
+    write(
+        "plan.json",
+        serde_json::to_string_pretty(plan).expect("plan serializes") + "\n",
+    );
+    write("journal.jsonl", richest.journal.to_jsonl());
+    write(
+        "report.json",
+        serde_json::to_string_pretty(&richest.report).expect("report serializes") + "\n",
+    );
+    eprintln!(
+        "figure14: dumped {} x{} ({} journal records)",
+        richest.scenario,
+        richest.slots,
+        richest.journal.len()
+    );
+}

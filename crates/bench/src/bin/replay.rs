@@ -1,0 +1,134 @@
+//! Replays a deployment journal against its seed instance and initial plan
+//! and prints what the run did — the journal-as-ground-truth workflow:
+//!
+//! ```text
+//! cargo run -p idd-bench --bin figure14 -- --tiny --dump /tmp/f14
+//! cargo run -p idd-bench --bin replay -- \
+//!     --instance /tmp/f14/instance.json \
+//!     --plan     /tmp/f14/plan.json \
+//!     --journal  /tmp/f14/journal.jsonl \
+//!     --expect   /tmp/f14/report.json
+//! ```
+//!
+//! Without `--expect` the reconstructed report is summarized and the exit
+//! code only reflects whether the journal replayed cleanly (a tampered,
+//! truncated or reordered journal diverges and exits 1). With `--expect`
+//! the reconstructed report must additionally match the recorded one —
+//! the headline accumulators bit-for-bit — or the process exits 1.
+
+use idd_bench::{parse_flag_value, Table};
+use idd_core::{Deployment, ProblemInstance};
+use idd_deploy::{replay, DeploymentJournal, DeploymentReport};
+
+fn required(flag: &str) -> String {
+    parse_flag_value("replay", flag).unwrap_or_else(|| {
+        eprintln!(
+            "replay: usage: --instance <json> --plan <json> --journal <jsonl> [--expect <report.json>]"
+        );
+        std::process::exit(2);
+    })
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("replay: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse<T: serde::Deserialize>(path: &str, what: &str) -> T {
+    serde_json::from_str(&read(path)).unwrap_or_else(|e| {
+        eprintln!("replay: {path} is not a valid {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let instance: ProblemInstance = parse(&required("--instance"), "problem instance");
+    let plan: Deployment = parse(&required("--plan"), "deployment plan");
+    let journal_path = required("--journal");
+    let journal = DeploymentJournal::from_jsonl(&read(&journal_path)).unwrap_or_else(|e| {
+        eprintln!("replay: {journal_path} is not a valid journal: {e}");
+        std::process::exit(1);
+    });
+
+    let report = replay(&instance, &plan, &journal).unwrap_or_else(|e| {
+        eprintln!("replay: journal does not replay against this instance/plan: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "replayed {} journal records against `{}` ({} indexes / {} queries)\n",
+        journal.len(),
+        instance.name(),
+        instance.num_indexes(),
+        instance.num_queries(),
+    );
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["builds".to_string(), report.builds.len().to_string()]);
+    table.row(vec![
+        "realized order".to_string(),
+        report.realized_order().arrow_notation(),
+    ]);
+    table.row(vec![
+        "replans".to_string(),
+        report.replans.len().to_string(),
+    ]);
+    table.row(vec![
+        "events applied".to_string(),
+        report.events_applied.to_string(),
+    ]);
+    table.row(vec!["retries".to_string(), report.retries.to_string()]);
+    table.row(vec![
+        "out-of-order dispatches".to_string(),
+        report.out_of_order_dispatches.to_string(),
+    ]);
+    table.row(vec![
+        "realized cost".to_string(),
+        format!("{:.6}", report.realized_cost),
+    ]);
+    table.row(vec![
+        "final runtime".to_string(),
+        format!("{:.6}", report.final_runtime),
+    ]);
+    table.row(vec![
+        "makespan".to_string(),
+        format!("{:.6}", report.total_clock),
+    ]);
+    table.row(vec![
+        "wasted clock".to_string(),
+        format!("{:.6}", report.total_wasted),
+    ]);
+    println!("{}", table.render());
+
+    if let Some(expect_path) = parse_flag_value("replay", "--expect") {
+        let expected: DeploymentReport = parse(&expect_path, "deployment report");
+        let mut diverged = false;
+        for (what, recorded, rebuilt) in [
+            (
+                "realized cost",
+                expected.realized_cost,
+                report.realized_cost,
+            ),
+            (
+                "final runtime",
+                expected.final_runtime,
+                report.final_runtime,
+            ),
+            ("total clock", expected.total_clock, report.total_clock),
+        ] {
+            if recorded.to_bits() != rebuilt.to_bits() {
+                eprintln!("replay: {what} diverged: recorded {recorded} vs replayed {rebuilt}");
+                diverged = true;
+            }
+        }
+        if report != expected {
+            eprintln!("replay: replayed report differs from {expect_path}");
+            diverged = true;
+        }
+        if diverged {
+            std::process::exit(1);
+        }
+        println!("replayed report matches {expect_path} (headline accumulators bit-for-bit)");
+    }
+}

@@ -11,6 +11,8 @@
 //! | `figure11` | Figure 11 — local-search anytime curves on TPC-H |
 //! | `figure12` | Figure 12 — local-search anytime curves on TPC-DS |
 //! | `figure13` | Figure 13 — VNS deployment time & average query runtime over time |
+//! | `figure14` | Realized cost over the deployment clock, from journal `Complete` records (not in the paper) |
+//! | `replay` | Replays a `figure14 --dump` journal against its seed instance — bit-for-bit verdict |
 //!
 //! Each binary prints a self-contained report (markdown-ish tables) and
 //! accepts `--time-limit <seconds>`, `--runs <n>` and `--scale <fraction>`
@@ -27,7 +29,7 @@ pub mod figures;
 pub mod report;
 
 pub use args::{parse_flag_value, HarnessArgs};
-pub use report::{BenchJson, BenchRecord, Table};
+pub use report::{BenchJson, BenchRecord, BenchSeries, SeriesJson, SeriesPoint, Table};
 
 use idd_core::ProblemInstance;
 

@@ -8,8 +8,11 @@ use serde::{Deserialize, Serialize};
 /// One machine-readable result row of a bench run. `objective` is the
 /// bench's headline number (objective area for the solver tables, realized
 /// cumulative cost for the deployment table); the optional fields are
-/// populated by the benches they apply to.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// populated by the benches they apply to — and *omitted* from the JSON
+/// when absent (hand-rolled [`Serialize`] below), so every checked-in
+/// `BENCH_*.json` schema is per-bench honest instead of padding foreign
+/// fields with `null`.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct BenchRecord {
     /// Row label (solver / run name).
     pub run: String,
@@ -31,6 +34,40 @@ pub struct BenchRecord {
     pub improved_replans: Option<u64>,
     /// Failed build attempts (`table9` rows only).
     pub retries: Option<u64>,
+}
+
+// Hand-rolled (the vendored serde derive has no `skip_serializing_if`):
+// absent optional fields are *omitted*, never emitted as `null`. The derived
+// `Deserialize` reads them back as `None` via `from_missing`, so the round
+// trip is lossless, and CI greps checked-in `BENCH_*.json` for `null` to
+// keep it that way.
+impl Serialize for BenchRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("run".to_string(), self.run.to_value()),
+            ("objective".to_string(), self.objective.to_value()),
+            ("outcome".to_string(), self.outcome.to_value()),
+            (
+                "elapsed_seconds".to_string(),
+                self.elapsed_seconds.to_value(),
+            ),
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("coop".to_string(), self.coop.to_value()),
+        ];
+        if let Some(scenario) = &self.scenario {
+            entries.push(("scenario".to_string(), scenario.to_value()));
+        }
+        if let Some(replans) = &self.replans {
+            entries.push(("replans".to_string(), replans.to_value()));
+        }
+        if let Some(improved) = &self.improved_replans {
+            entries.push(("improved_replans".to_string(), improved.to_value()));
+        }
+        if let Some(retries) = &self.retries {
+            entries.push(("retries".to_string(), retries.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
 }
 
 impl BenchRecord {
@@ -90,6 +127,83 @@ impl BenchJson {
     /// goes to stderr so golden-tested stdout stays untouched, and an IO
     /// failure aborts the bench (a requested record must never be silently
     /// missing from CI artifacts).
+    pub fn write_if_requested(&self, bin: &str, path: Option<&str>) {
+        if let Some(path) = path {
+            if let Err(e) = self.write(path) {
+                eprintln!("{bin}: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("{bin}: wrote {path}");
+        }
+    }
+}
+
+/// One vertex of a realized-cost-over-time polyline: the exact cumulative
+/// realized cost after the completion at `clock` (taken verbatim from the
+/// journal's `Complete` records).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Deployment clock of the completion.
+    pub clock: f64,
+    /// Cumulative realized cost after it.
+    pub value: f64,
+}
+
+/// One realized-cost trajectory of a `figure14` run: a (scenario, slots)
+/// cell's polyline plus its endpoint summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSeries {
+    /// Row label (policy / run name).
+    pub run: String,
+    /// Evolution scenario name.
+    pub scenario: String,
+    /// Build slots the run used.
+    pub slots: u64,
+    /// Final realized cumulative cost (the last point's `value`).
+    pub final_cost: f64,
+    /// Total deployment clock.
+    pub total_clock: f64,
+    /// The polyline, one vertex per completion, in clock order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A whole series-shaped bench run (`figure14`), serializable to
+/// `BENCH_<name>.json` like [`BenchJson`] but holding trajectories instead
+/// of summary rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesJson {
+    /// Bench name ("figure14").
+    pub bench: String,
+    /// Free-form description of the configuration that produced the series.
+    pub config: String,
+    /// The trajectories.
+    pub series: Vec<BenchSeries>,
+}
+
+impl SeriesJson {
+    /// Starts an empty report.
+    pub fn new(bench: impl Into<String>, config: impl Into<String>) -> Self {
+        Self {
+            bench: bench.into(),
+            config: config.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a trajectory.
+    pub fn push(&mut self, series: BenchSeries) {
+        self.series.push(series);
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+
+    /// Writes the report when a `--json <path>` flag was given; same
+    /// contract as [`BenchJson::write_if_requested`].
     pub fn write_if_requested(&self, bin: &str, path: Option<&str>) {
         if let Some(path) = path {
             if let Err(e) = self.write(path) {
@@ -206,5 +320,81 @@ mod tests {
         let mut t = Table::new(vec!["x", "y"]);
         t.row(vec!["1", "2"]);
         assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    fn sample_record() -> BenchRecord {
+        BenchRecord {
+            run: "greedy".into(),
+            objective: 123.5,
+            outcome: "feas".into(),
+            elapsed_seconds: 0.25,
+            nodes: 42,
+            coop: CoopStats::default(),
+            scenario: None,
+            replans: None,
+            improved_replans: None,
+            retries: None,
+        }
+    }
+
+    #[test]
+    fn absent_optional_fields_are_omitted_not_null() {
+        let record = sample_record();
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(!json.contains("null"), "{json}");
+        assert!(!json.contains("scenario"), "{json}");
+        assert!(!json.contains("replans"), "{json}");
+        assert!(!json.contains("retries"), "{json}");
+        // The derived Deserialize reads the omissions back as None.
+        let back: BenchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn present_optional_fields_round_trip() {
+        let record = BenchRecord {
+            scenario: Some("drift".into()),
+            replans: Some(3),
+            improved_replans: Some(2),
+            retries: Some(1),
+            ..sample_record()
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(json.contains("\"scenario\":\"drift\""), "{json}");
+        assert!(json.contains("\"replans\":3"), "{json}");
+        let back: BenchRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+        // A whole BenchJson document stays null-free with mixed rows.
+        let mut doc = BenchJson::new("test", "cfg");
+        doc.push(sample_record());
+        doc.push(record);
+        let pretty = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(!pretty.contains("null"), "{pretty}");
+    }
+
+    #[test]
+    fn series_json_round_trips() {
+        let mut doc = SeriesJson::new("figure14", "tiny");
+        doc.push(BenchSeries {
+            run: "greedy".into(),
+            scenario: "drift".into(),
+            slots: 2,
+            final_cost: 321.25,
+            total_clock: 17.5,
+            points: vec![
+                SeriesPoint {
+                    clock: 4.0,
+                    value: 100.0,
+                },
+                SeriesPoint {
+                    clock: 17.5,
+                    value: 321.25,
+                },
+            ],
+        });
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(!json.contains("null"), "{json}");
+        let back: SeriesJson = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
     }
 }

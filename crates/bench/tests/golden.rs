@@ -112,3 +112,16 @@ fn table10_tiny_output_matches_golden() {
 fn table11_tiny_output_matches_golden() {
     check(env!("CARGO_BIN_EXE_table11"), "table11_tiny.txt");
 }
+
+/// `figure14 --tiny` pins the journal/replay surface: the hand-specified
+/// instance and scenarios executed at 1 / 2 / 4 build slots produce
+/// machine-independent realized-cost polylines (read verbatim off the
+/// journal's `Complete` records), journal record counts, and per-run replay
+/// verdicts. The binary itself exits non-zero when any journal fails the
+/// JSONL round trip or replays to a different report, so a replay
+/// divergence fails here twice over — once as the exit code, once as the
+/// `DIVERGED` cell in the diff.
+#[test]
+fn figure14_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_figure14"), "figure14_tiny.txt");
+}

@@ -1,0 +1,393 @@
+//! The deployment journal: the append-only record of a run, and the
+//! replayer that reconstructs the run's report from it — bit-for-bit.
+//!
+//! [`DeployRuntime::execute_journaled`](crate::DeployRuntime::execute_journaled)
+//! emits one typed [`JournalRecord`] per action taken (dispatch, failed
+//! attempt, completion, event landing, replan decision, debounce deferral),
+//! each stamped with the exact clock and slot. [`DeploymentJournal`] holds
+//! them in order and serializes to JSONL — one compact JSON object per line
+//! — via the vendored serde, so a journal survives a process boundary.
+//!
+//! [`replay`] consumes a journal plus the *seed* of the run (the original
+//! instance and initial plan) and re-executes the recorded actions through
+//! the same `RunState` machine and the same [`idd_core::ExactSum`] /
+//! [`idd_core::ObjectiveStepper`] arithmetic the live runtime used. The
+//! result is the identical [`DeploymentReport`], field by field, `f64`s
+//! compared by bit pattern — the property the `journal_replay` proptest
+//! wall pins across the serial-equivalence scenario grid. Replay is also a
+//! *verifier*: every redundant stamp in the journal (dispatch costs, attempt
+//! clocks, completion clocks, running realized cost) is recomputed and
+//! cross-checked, so a truncated, reordered, or hand-edited journal
+//! surfaces as [`ReplayError::Diverged`] instead of a quietly different
+//! report.
+//!
+//! What replay does *not* need is exactly what makes the journal a faithful
+//! record: no scenario (events are embedded verbatim, failure specs ride on
+//! the dispatch records), no solver (replans carry their chosen suffix), no
+//! policy knobs (debounce deferrals are recorded decisions, and slot
+//! assignment is explicit on every record).
+
+use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
+use crate::runtime::{DeployError, InFlight, RunState};
+use idd_core::{Deployment, JournalRecord, ObjectiveEvaluator, ProblemInstance};
+
+/// An ordered, append-only record of one deployment run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeploymentJournal {
+    records: Vec<JournalRecord>,
+}
+
+impl DeploymentJournal {
+    /// Wraps an ordered record list into a journal.
+    pub fn new(records: Vec<JournalRecord>) -> Self {
+        Self { records }
+    }
+
+    /// The records, in the order the runtime acted.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the run took no recorded action (an empty plan against a
+    /// quiet scenario).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes the journal to JSONL: one compact JSON object per record,
+    /// one record per line, in order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(
+                &serde_json::to_string(record).expect("journal serialization is infallible"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a journal from JSONL text (blank lines are skipped). Any
+    /// malformed line is an error naming its 1-based line number.
+    pub fn from_jsonl(text: &str) -> Result<Self, ReplayError> {
+        let mut records = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: JournalRecord = serde_json::from_str(line)
+                .map_err(|e| ReplayError::Malformed(format!("line {}: {e}", number + 1)))?;
+            records.push(record);
+        }
+        Ok(Self { records })
+    }
+}
+
+/// Why a replay could not reconstruct the report.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// A journal line failed to parse as a [`JournalRecord`].
+    Malformed(String),
+    /// The journal contradicts what re-execution derives from the seed
+    /// instance — a stamp fails its bit-for-bit cross-check, a record refers
+    /// to state that does not exist (an index not pending, a completion with
+    /// nothing in flight, an occupied slot), or a replanned plan fails
+    /// validation. The journal and the seed do not describe the same run.
+    Diverged(String),
+    /// Re-applying a recorded event failed the same way it would have
+    /// failed live (e.g. a revision referencing unknown structure).
+    Run(DeployError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Malformed(msg) => write!(f, "malformed journal: {msg}"),
+            ReplayError::Diverged(msg) => write!(f, "replay diverged from journal: {msg}"),
+            ReplayError::Run(e) => write!(f, "replay failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<DeployError> for ReplayError {
+    fn from(e: DeployError) -> Self {
+        ReplayError::Run(e)
+    }
+}
+
+fn diverged(msg: impl Into<String>) -> ReplayError {
+    ReplayError::Diverged(msg.into())
+}
+
+/// Exact bit-pattern equality check for a recorded `f64` stamp.
+fn check_bits(what: &str, recorded: f64, derived: f64) -> Result<(), ReplayError> {
+    if recorded.to_bits() != derived.to_bits() {
+        return Err(diverged(format!(
+            "{what}: journal says {recorded}, replay derives {derived}"
+        )));
+    }
+    Ok(())
+}
+
+/// Reconstructs the [`DeploymentReport`] of the run that produced `journal`,
+/// given the run's seed: the original instance and the initial plan.
+///
+/// The reconstruction is **bit-for-bit**: it drives the same state machine
+/// with the same [`idd_core::ExactSum`] accumulator and the same
+/// [`idd_core::ObjectiveStepper`] arithmetic as
+/// [`DeployRuntime::execute`](crate::DeployRuntime::execute), taking every
+/// *decision* (what to dispatch where, what suffix a replan chose, when to
+/// defer) from the journal instead of from a scenario, solver, or config.
+/// Every redundant stamp in the journal is recomputed and cross-checked;
+/// any mismatch is a [`ReplayError::Diverged`].
+pub fn replay(
+    instance: &ProblemInstance,
+    initial: &Deployment,
+    journal: &DeploymentJournal,
+) -> Result<DeploymentReport, ReplayError> {
+    initial
+        .validate(instance)
+        .map_err(DeployError::InvalidInitialPlan)?;
+    let mut state = RunState::new(instance, initial);
+
+    for record in journal.records() {
+        match record {
+            JournalRecord::EventLanded(r) => {
+                // Events land at the first boundary at or after their
+                // timestamp; post-deployment events advance the clock.
+                state.clock = state.clock.max(r.event.at);
+                check_bits("event clock", r.clock, state.clock)?;
+                state.apply_event(&r.event)?;
+                state.report.events_applied += 1;
+            }
+
+            JournalRecord::Debounce(_) => {
+                // A recorded *non*-action: the live runtime deferred the
+                // replan to batch with an upcoming event. Nothing to do.
+            }
+
+            JournalRecord::Replan(d) => {
+                // The decision is on the record; the frozen-commitment
+                // snapshot is re-derived from replayed state so a journal
+                // whose suffix contradicts the commitment fails validation.
+                state.report.replans.push(ReplanRecord {
+                    clock: d.clock,
+                    trigger: d.trigger.clone(),
+                    frozen_prefix: state.committed.clone(),
+                    in_flight: state.in_flight.iter().map(|f| f.index).collect(),
+                    suffix_len: d.pending.len(),
+                    warm_start_objective: d.warm_start_objective,
+                    objective: d.objective,
+                    solver: d.solver.clone(),
+                    improved: d.improved,
+                });
+                check_bits("replan clock", d.clock, state.clock)?;
+                state.pending = d.pending.iter().copied().collect();
+                state.validate_plan()?;
+            }
+
+            JournalRecord::Dispatch(d) => {
+                check_bits("dispatch clock", d.clock, state.clock)?;
+                if d.position != state.committed.len() {
+                    return Err(diverged(format!(
+                        "dispatch of {} at position {} but {} builds are committed",
+                        d.index,
+                        d.position,
+                        state.committed.len()
+                    )));
+                }
+                if state.pending.get(d.plan_offset) != Some(&d.index) {
+                    return Err(diverged(format!(
+                        "dispatch of {} at plan offset {} does not match the pending suffix",
+                        d.index, d.plan_offset
+                    )));
+                }
+                if !state.eligible(d.index) {
+                    return Err(diverged(format!(
+                        "dispatch of {} before its precedence prerequisites completed",
+                        d.index
+                    )));
+                }
+                if state.in_flight.iter().any(|f| f.slot == d.slot) {
+                    return Err(diverged(format!(
+                        "dispatch of {} into occupied slot {}",
+                        d.index, d.slot
+                    )));
+                }
+                state.pending.remove(d.plan_offset);
+                if d.plan_offset > 0 {
+                    state.report.out_of_order_dispatches += 1;
+                }
+
+                // The stepper's dispatch-time outputs are pure functions of
+                // (instance, completed set): rebuilding it here reproduces
+                // the live runtime's cost and runtime level bit-for-bit.
+                let evaluator = ObjectiveEvaluator::new(&state.instance);
+                let mut stepper = evaluator.stepper();
+                for &i in &state.completed_order {
+                    stepper.step(i);
+                }
+                for fl in &state.in_flight {
+                    stepper.begin_build(fl.index);
+                }
+                let cost = stepper.begin_build(d.index);
+                check_bits("dispatch cost", d.cost, cost)?;
+
+                // Same per-attempt accumulation as the live runtime, so the
+                // sum rounds identically.
+                let mut wasted = 0.0;
+                for _ in 0..d.retries {
+                    wasted += d.waste_per_failure;
+                }
+                let start = state.clock;
+                let finish = start + (wasted + cost);
+                state.report.builds.push(ExecutedBuild {
+                    position: d.position,
+                    index: d.index,
+                    slot: d.slot,
+                    start,
+                    finish,
+                    cost,
+                    wasted,
+                    retries: d.retries,
+                    plan_offset: d.plan_offset,
+                    runtime_before: stepper.runtime(),
+                    runtime_after: f64::NAN, // filled at completion
+                });
+                state.report.total_build_time += cost;
+                state.report.total_wasted += wasted;
+                state.report.retries += d.retries;
+                state.in_flight.push(InFlight {
+                    index: d.index,
+                    slot: d.slot,
+                    build_pos: state.report.builds.len() - 1,
+                    start,
+                    finish,
+                    cost,
+                    waste_per_failure: d.waste_per_failure,
+                    retries: d.retries,
+                });
+                state.committed.push(d.index);
+            }
+
+            JournalRecord::Fail(f) => {
+                let fl = state
+                    .in_flight
+                    .iter()
+                    .find(|x| x.index == f.index)
+                    .ok_or_else(|| {
+                        diverged(format!(
+                            "failed attempt of {} with no such build in flight",
+                            f.index
+                        ))
+                    })?;
+                if f.slot != fl.slot {
+                    return Err(diverged(format!(
+                        "failed attempt of {} in slot {} but the build occupies slot {}",
+                        f.index, f.slot, fl.slot
+                    )));
+                }
+                if f.attempt == 0 || f.attempt > fl.retries {
+                    return Err(diverged(format!(
+                        "attempt {} of {} outside its {} recorded retries",
+                        f.attempt, f.index, fl.retries
+                    )));
+                }
+                // Attempt k starts after k−1 wasted attempts, accumulated
+                // the same way the live runtime accumulated them.
+                let mut attempt_start = fl.start;
+                for _ in 1..f.attempt {
+                    attempt_start += fl.waste_per_failure;
+                }
+                check_bits("failed-attempt clock", f.clock, attempt_start)?;
+                check_bits("failed-attempt waste", f.wasted, fl.waste_per_failure)?;
+            }
+
+            JournalRecord::Complete(c) => {
+                let pos = state
+                    .in_flight
+                    .iter()
+                    .position(|f| f.index == c.index)
+                    .ok_or_else(|| {
+                        diverged(format!(
+                            "completion of {} with no such build in flight",
+                            c.index
+                        ))
+                    })?;
+
+                // Rebuild the stepper over (completions, in-flight set) —
+                // the completing build still in it, exactly as the live
+                // stepper had it at this point.
+                let evaluator = ObjectiveEvaluator::new(&state.instance);
+                let mut stepper = evaluator.stepper();
+                for &i in &state.completed_order {
+                    stepper.step(i);
+                }
+                for fl in &state.in_flight {
+                    stepper.begin_build(fl.index);
+                }
+
+                let fl = state.in_flight.remove(pos);
+                if c.slot != fl.slot {
+                    return Err(diverged(format!(
+                        "completion of {} in slot {} but the build occupies slot {}",
+                        c.index, c.slot, fl.slot
+                    )));
+                }
+
+                // Integrate runtime · wall-clock over [clock, finish] with
+                // the exact branch structure of the live runtime: the
+                // serial-shaped per-attempt split when nothing accrued since
+                // this build started, one piece otherwise.
+                let runtime = stepper.runtime();
+                if state.clock.to_bits() == fl.start.to_bits() {
+                    for _ in 0..fl.retries {
+                        state.realized.add_prod(runtime, fl.waste_per_failure);
+                    }
+                    state.realized.add_prod(runtime, fl.cost);
+                } else {
+                    state.realized.add_prod(runtime, fl.finish - state.clock);
+                }
+                state.clock = fl.finish;
+                check_bits("completion clock", c.clock, state.clock)?;
+
+                let (_, runtime_after) = stepper.complete_build(fl.index);
+                state.report.builds[fl.build_pos].runtime_after = runtime_after;
+                state.built[fl.index.raw()] = true;
+                state.completed_order.push(fl.index);
+                check_bits(
+                    "realized cost at completion",
+                    c.realized,
+                    state.realized.value(),
+                )?;
+            }
+        }
+    }
+
+    if !state.pending.is_empty() || !state.in_flight.is_empty() {
+        return Err(diverged(format!(
+            "journal ended with {} pending and {} in-flight builds",
+            state.pending.len(),
+            state.in_flight.len()
+        )));
+    }
+
+    // Same closing arithmetic as the live runtime: the final runtime is the
+    // completion order replayed on the final (drifted / revised) instance.
+    let evaluator = ObjectiveEvaluator::new(&state.instance);
+    let mut stepper = evaluator.stepper();
+    for &i in &state.completed_order {
+        stepper.step(i);
+    }
+    state.report.final_runtime = stepper.runtime();
+    state.report.realized_cost = state.realized.value();
+    state.report.total_clock = state.clock;
+    Ok(state.report)
+}

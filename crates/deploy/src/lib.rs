@@ -55,18 +55,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod journal;
 pub mod report;
 pub mod runtime;
 
+pub use journal::{replay, DeploymentJournal, ReplayError};
 pub use report::{DeploymentReport, ExecutedBuild, ReplanRecord};
 pub use runtime::{DeployConfig, DeployError, DeployRuntime, DispatchPolicy, ReplanTrigger};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::journal::{replay, DeploymentJournal, ReplayError};
     pub use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
     pub use crate::runtime::{
         DeployConfig, DeployError, DeployRuntime, DispatchPolicy, ReplanTrigger,
     };
-    pub use idd_core::{EventKind, EvolutionEvent, EvolutionScenario};
+    pub use idd_core::{EventKind, EvolutionEvent, EvolutionScenario, JournalRecord};
     pub use idd_solver::replan::{ReplanStrategy, Replanner};
 }

@@ -61,10 +61,12 @@
 //! replan ([`DeployConfig::with_slot_aware_replan`]) scores candidate
 //! suffixes with instead of the serial proxy.
 
+use crate::journal::DeploymentJournal;
 use crate::report::{DeploymentReport, ExecutedBuild, ReplanRecord};
 use idd_core::{
-    CoreError, Deployment, EventKind, EvolutionEvent, EvolutionScenario, ExactSum, IndexId,
-    ObjectiveEvaluator, ProblemInstance,
+    CompleteRecord, CoreError, DebounceRecord, Deployment, DispatchRecord, EventKind, EventRecord,
+    EvolutionEvent, EvolutionScenario, ExactSum, FailRecord, IndexId, JournalRecord,
+    ObjectiveEvaluator, ProblemInstance, ReplanDecision,
 };
 use idd_solver::replan::{ReplanStrategy, Replanner, SuffixScoring};
 use idd_solver::SearchBudget;
@@ -267,18 +269,19 @@ pub struct DeployRuntime {
 }
 
 /// A build occupying a slot: dispatched, not yet completed.
+/// `pub(crate)` so the journal replayer can reconstruct the same state.
 #[derive(Debug, Clone)]
-struct InFlight {
-    index: IndexId,
-    slot: usize,
+pub(crate) struct InFlight {
+    pub(crate) index: IndexId,
+    pub(crate) slot: usize,
     /// Position of this build's record in `report.builds`.
-    build_pos: usize,
-    start: f64,
+    pub(crate) build_pos: usize,
+    pub(crate) start: f64,
     /// `start + (wasted + cost)`, the completion time.
-    finish: f64,
-    cost: f64,
-    waste_per_failure: f64,
-    retries: u32,
+    pub(crate) finish: f64,
+    pub(crate) cost: f64,
+    pub(crate) waste_per_failure: f64,
+    pub(crate) retries: u32,
 }
 
 /// Key of the completion priority queue: earliest finish first, dispatch
@@ -307,38 +310,44 @@ impl PartialOrd for Completion {
 }
 
 /// Mutable run state, grouped so the helper methods can borrow it wholesale.
-struct RunState {
-    instance: ProblemInstance,
+/// `pub(crate)` so the journal replayer (`crate::journal`) can drive the
+/// exact same state machine from recorded actions.
+pub(crate) struct RunState {
+    pub(crate) instance: ProblemInstance,
     /// Parent-id dispatch order of every committed build — completed *and*
     /// in-flight (append-only; the frozen commitment at any moment).
-    committed: Vec<IndexId>,
+    pub(crate) committed: Vec<IndexId>,
     /// Parent-id completion order of finished builds (used to replay the
     /// stepper after the instance changes).
-    completed_order: Vec<IndexId>,
+    pub(crate) completed_order: Vec<IndexId>,
     /// Parent-id bitmap of *completed* indexes.
-    built: Vec<bool>,
+    pub(crate) built: Vec<bool>,
     /// Parent-id bitmap of retracted (dropped, unbuilt) indexes.
-    excluded: Vec<bool>,
+    pub(crate) excluded: Vec<bool>,
     /// Builds currently occupying slots, in dispatch order.
-    in_flight: Vec<InFlight>,
+    pub(crate) in_flight: Vec<InFlight>,
     /// The planned unbuilt suffix, in execution order (parent ids). A
     /// `VecDeque` so head dispatch is O(1) (and a work-conserving overtake
     /// at position `p` costs `O(min(p, n − p))`, not a full shift).
-    pending: VecDeque<IndexId>,
+    pub(crate) pending: VecDeque<IndexId>,
     /// Replan triggers accumulated but not yet acted on (debouncing).
     deferred_triggers: Vec<&'static str>,
-    clock: f64,
+    pub(crate) clock: f64,
     /// Exact accumulator behind `report.realized_cost`: every
     /// `runtime · duration` product lands here error-free and is rounded
     /// once at the end of the run, so a quiet run reproduces the offline
     /// objective area bit-for-bit (the offline evaluator sums the same
     /// products the same way).
-    realized: ExactSum,
-    report: DeploymentReport,
+    pub(crate) realized: ExactSum,
+    pub(crate) report: DeploymentReport,
+    /// Typed record of every action taken, in order. Appended by `execute`
+    /// (the serial reference predates the journal and stays silent); moved
+    /// into the returned [`DeploymentJournal`] by `execute_journaled`.
+    journal: Vec<JournalRecord>,
 }
 
 impl RunState {
-    fn new(instance: &ProblemInstance, initial: &Deployment) -> Self {
+    pub(crate) fn new(instance: &ProblemInstance, initial: &Deployment) -> Self {
         let n = instance.num_indexes();
         RunState {
             instance: instance.clone(),
@@ -364,18 +373,19 @@ impl RunState {
                 events_applied: 0,
                 ineffective_drops: 0,
             },
+            journal: Vec::new(),
         }
     }
 
     /// `true` when `raw` is committed: completed or occupying a slot.
-    fn is_committed(&self, raw: usize) -> bool {
+    pub(crate) fn is_committed(&self, raw: usize) -> bool {
         self.built[raw] || self.in_flight.iter().any(|f| f.index.raw() == raw)
     }
 
     /// Validates the in-flight plan: `committed ++ pending` must cover
     /// exactly the unexcluded (or already committed) indexes once each and
     /// satisfy every applicable precedence of the current instance.
-    fn validate_plan(&self) -> Result<(), DeployError> {
+    pub(crate) fn validate_plan(&self) -> Result<(), DeployError> {
         let n = self.instance.num_indexes();
         let mut position = vec![usize::MAX; n];
         for (p, &i) in self.committed.iter().chain(self.pending.iter()).enumerate() {
@@ -423,7 +433,10 @@ impl RunState {
     /// Applies one timed event, mutating the instance / target set and the
     /// mechanically-maintained pending order (additions append, drops
     /// remove). Returns the trigger label.
-    fn apply_event(&mut self, event: &EvolutionEvent) -> Result<&'static str, DeployError> {
+    pub(crate) fn apply_event(
+        &mut self,
+        event: &EvolutionEvent,
+    ) -> Result<&'static str, DeployError> {
         match &event.kind {
             EventKind::Drift(drift) => {
                 self.instance = drift.apply_to(&self.instance)?;
@@ -468,7 +481,7 @@ impl RunState {
     /// `true` when `index` may be dispatched: every precedence prerequisite
     /// has *completed* (an in-flight prerequisite blocks dispatch — the
     /// dependency is on the built artifact, not on the commitment).
-    fn eligible(&self, index: IndexId) -> bool {
+    pub(crate) fn eligible(&self, index: IndexId) -> bool {
         self.instance
             .precedences()
             .iter()
@@ -480,7 +493,7 @@ impl RunState {
     /// work-conserving admits the first eligible index. Eligibility depends
     /// only on the *completed* set, so the answer is stable across the
     /// dispatches of one completion boundary.
-    fn next_dispatchable(&self, policy: DispatchPolicy) -> Option<usize> {
+    pub(crate) fn next_dispatchable(&self, policy: DispatchPolicy) -> Option<usize> {
         let limit = match policy {
             DispatchPolicy::HeadOfLine => self.pending.len().min(1),
             DispatchPolicy::WorkConserving => self.pending.len(),
@@ -503,12 +516,32 @@ impl DeployRuntime {
 
     /// Executes `initial` against `scenario` on `build_slots` concurrent
     /// slots. See the module docs for the execution model and invariants.
+    ///
+    /// Equivalent to [`DeployRuntime::execute_journaled`] with the journal
+    /// dropped — the journal is recorded either way; this accessor just
+    /// keeps the common call sites simple.
     pub fn execute(
         &self,
         instance: &ProblemInstance,
         initial: &Deployment,
         scenario: &EvolutionScenario,
     ) -> Result<DeploymentReport, DeployError> {
+        self.execute_journaled(instance, initial, scenario)
+            .map(|(report, _)| report)
+    }
+
+    /// Executes like [`DeployRuntime::execute`] and additionally returns the
+    /// run's [`DeploymentJournal`]: one typed record per action taken
+    /// (dispatch, failed attempt, completion, event landing, replan,
+    /// debounce deferral), stamped with the exact clock and slot.
+    /// [`crate::journal::replay`] reconstructs the identical report from the
+    /// journal bit-for-bit.
+    pub fn execute_journaled(
+        &self,
+        instance: &ProblemInstance,
+        initial: &Deployment,
+        scenario: &EvolutionScenario,
+    ) -> Result<(DeploymentReport, DeploymentJournal), DeployError> {
         initial
             .validate(instance)
             .map_err(DeployError::InvalidInitialPlan)?;
@@ -547,6 +580,10 @@ impl DeployRuntime {
                     state.deferred_triggers.push(label);
                 }
                 state.report.events_applied += 1;
+                state.journal.push(JournalRecord::EventLanded(EventRecord {
+                    clock: state.clock,
+                    event,
+                }));
             }
 
             // 2. Act on accumulated triggers, unless another event is close
@@ -562,7 +599,13 @@ impl DeployRuntime {
                     queue.last().is_some_and(|e| e.at <= state.clock + debounce);
                 let can_progress = !state.in_flight.is_empty()
                     || state.next_dispatchable(self.config.dispatch).is_some();
-                if !(next_within_window && can_progress) {
+                if next_within_window && can_progress {
+                    state.journal.push(JournalRecord::Debounce(DebounceRecord {
+                        clock: state.clock,
+                        deferred: state.deferred_triggers.join("+"),
+                        next_event_at: queue.last().expect("within window").at,
+                    }));
+                } else {
                     let trigger = state.deferred_triggers.join("+");
                     state.deferred_triggers.clear();
                     self.replan(&mut state, &trigger)?;
@@ -671,6 +714,27 @@ impl DeployRuntime {
                         index: next,
                     }));
                     state.committed.push(next);
+                    state.journal.push(JournalRecord::Dispatch(DispatchRecord {
+                        clock: start,
+                        slot,
+                        position: seq,
+                        index: next,
+                        plan_offset: pos,
+                        cost,
+                        retries,
+                        waste_per_failure,
+                    }));
+                    let mut attempt_start = start;
+                    for attempt in 1..=retries {
+                        state.journal.push(JournalRecord::Fail(FailRecord {
+                            clock: attempt_start,
+                            slot,
+                            index: next,
+                            attempt,
+                            wasted: waste_per_failure,
+                        }));
+                        attempt_start += waste_per_failure;
+                    }
                 }
 
                 // 5. Advance: pop the earliest completion, accrue the
@@ -715,6 +779,12 @@ impl DeployRuntime {
                 state.built[fl.index.raw()] = true;
                 state.completed_order.push(fl.index);
                 free_slots.push(Reverse(fl.slot));
+                state.journal.push(JournalRecord::Complete(CompleteRecord {
+                    clock: fl.finish,
+                    slot: fl.slot,
+                    index: fl.index,
+                    realized: state.realized.value(),
+                }));
 
                 // A failure-triggered replan fires at the failing build's
                 // completion boundary (subject to the same debouncing).
@@ -738,7 +808,7 @@ impl DeployRuntime {
         state.report.total_clock = state.clock;
         debug_assert!(state.report.prefixes_respected());
         debug_assert!(state.report.in_flight_respected());
-        Ok(state.report)
+        Ok((state.report, DeploymentJournal::new(state.journal)))
     }
 
     /// Freezes the commitment (built prefix + in-flight set), derives the
@@ -800,6 +870,15 @@ impl DeployRuntime {
             ));
         }
 
+        state.journal.push(JournalRecord::Replan(ReplanDecision {
+            clock: state.clock,
+            trigger: trigger.to_string(),
+            pending: new_pending.clone(),
+            warm_start_objective: outcome.warm_start_objective,
+            objective: outcome.objective,
+            solver: outcome.solver.clone(),
+            improved: outcome.improved,
+        }));
         state.report.replans.push(ReplanRecord {
             clock: state.clock,
             trigger: trigger.to_string(),

@@ -32,6 +32,7 @@ pub mod evolution;
 pub mod index;
 pub mod instance;
 pub mod interaction;
+pub mod journal;
 pub mod matrix;
 pub mod objective;
 pub mod plan;
@@ -57,6 +58,10 @@ pub use evolution::{
 pub use index::IndexMeta;
 pub use instance::{InstanceBuilder, ProblemInstance};
 pub use interaction::{BuildInteraction, Precedence};
+pub use journal::{
+    CompleteRecord, DebounceRecord, DispatchRecord, EventRecord, FailRecord, JournalRecord,
+    ReplanDecision,
+};
 pub use matrix::{MatrixFile, SoaView};
 pub use objective::{
     DeltaEvaluator, ObjectiveEvaluator, ObjectiveStepper, ObjectiveValue, PrefixEvaluator,

@@ -122,10 +122,30 @@ pub trait Deserialize: Sized {
 }
 
 /// Looks up `key` in the entries of a derived struct's input object.
-/// Used by generated `Deserialize` impls; not public API.
+/// First match wins; kept for callers that tolerate duplicates (maps do,
+/// matching JSON's last-wins looseness is *not* replicated here). Generated
+/// struct impls use [`__find_unique`] instead. Not public API.
 #[doc(hidden)]
 pub fn __find<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Looks up `key` in the entries of a derived struct's input object,
+/// rejecting duplicate occurrences of the key: a struct field appearing
+/// twice is an ambiguous document, and silently taking the first (or last)
+/// value would let a hand-edited journal smuggle a second value past the
+/// reader. Used by generated `Deserialize` impls; not public API.
+#[doc(hidden)]
+pub fn __find_unique<'a>(
+    entries: &'a [(String, Value)],
+    key: &str,
+) -> Result<Option<&'a Value>, Error> {
+    let mut matches = entries.iter().filter(|(k, _)| k == key);
+    let first = matches.next();
+    if matches.next().is_some() {
+        return Err(Error::custom(format!("duplicate field `{key}`")));
+    }
+    Ok(first.map(|(_, v)| v))
 }
 
 /// Range-checked integer deserialization shared by every width: accepts the

@@ -360,7 +360,7 @@ fn gen_deserialize(input: &Input) -> String {
                     .iter()
                     .map(|f| {
                         format!(
-                            "{f}: match ::serde::__find(__entries, {f:?}) {{\n\
+                            "{f}: match ::serde::__find_unique(__entries, {f:?})? {{\n\
                                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
                                 None => ::serde::Deserialize::from_missing({f:?})?,\n\
                              }},\n"
