@@ -18,7 +18,7 @@
 
 use idd_bench::{parse_flag_value, Table};
 use idd_core::{Deployment, ProblemInstance};
-use idd_deploy::{replay, DeploymentJournal, DeploymentReport};
+use idd_deploy::{replay, DeploymentJournal, DeploymentReport, ReplayError};
 
 fn required(flag: &str) -> String {
     parse_flag_value("replay", flag).unwrap_or_else(|| {
@@ -48,7 +48,15 @@ fn main() {
     let plan: Deployment = parse(&required("--plan"), "deployment plan");
     let journal_path = required("--journal");
     let journal = DeploymentJournal::from_jsonl(&read(&journal_path)).unwrap_or_else(|e| {
-        eprintln!("replay: {journal_path} is not a valid journal: {e}");
+        // Point at the offending line in editor-clickable path:line form;
+        // the typed variant carries the line number precisely so the CLI
+        // does not have to parse it back out of the message.
+        match e {
+            ReplayError::Malformed { line, message } => {
+                eprintln!("replay: {journal_path}:{line}: malformed journal line: {message}");
+            }
+            other => eprintln!("replay: {journal_path} is not a valid journal: {other}"),
+        }
         std::process::exit(1);
     });
 

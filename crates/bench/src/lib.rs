@@ -13,6 +13,7 @@
 //! | `figure13` | Figure 13 — VNS deployment time & average query runtime over time |
 //! | `figure14` | Realized cost over the deployment clock, from journal `Complete` records (not in the paper) |
 //! | `replay` | Replays a `figure14 --dump` journal against its seed instance — bit-for-bit verdict |
+//! | `trace` | Unified search/runtime telemetry: merged span/counter stream, slot-accounting gate, Chrome trace export (not in the paper) |
 //!
 //! Each binary prints a self-contained report (markdown-ish tables) and
 //! accepts `--time-limit <seconds>`, `--runs <n>` and `--scale <fraction>`

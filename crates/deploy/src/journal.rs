@@ -80,8 +80,11 @@ impl DeploymentJournal {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: JournalRecord = serde_json::from_str(line)
-                .map_err(|e| ReplayError::Malformed(format!("line {}: {e}", number + 1)))?;
+            let record: JournalRecord =
+                serde_json::from_str(line).map_err(|e| ReplayError::Malformed {
+                    line: number + 1,
+                    message: e.to_string(),
+                })?;
             records.push(record);
         }
         Ok(Self { records })
@@ -91,8 +94,16 @@ impl DeploymentJournal {
 /// Why a replay could not reconstruct the report.
 #[derive(Debug)]
 pub enum ReplayError {
-    /// A journal line failed to parse as a [`JournalRecord`].
-    Malformed(String),
+    /// A journal line failed to parse as a [`JournalRecord`]. The line
+    /// number is 1-based and typed (not baked into the message), so
+    /// callers — the `replay` CLI in particular — can point at the exact
+    /// offending line of the input file.
+    Malformed {
+        /// 1-based line number of the offending JSONL line.
+        line: usize,
+        /// The parse error for that line.
+        message: String,
+    },
     /// The journal contradicts what re-execution derives from the seed
     /// instance — a stamp fails its bit-for-bit cross-check, a record refers
     /// to state that does not exist (an index not pending, a completion with
@@ -107,7 +118,9 @@ pub enum ReplayError {
 impl std::fmt::Display for ReplayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ReplayError::Malformed(msg) => write!(f, "malformed journal: {msg}"),
+            ReplayError::Malformed { line, message } => {
+                write!(f, "malformed journal: line {line}: {message}")
+            }
             ReplayError::Diverged(msg) => write!(f, "replay diverged from journal: {msg}"),
             ReplayError::Run(e) => write!(f, "replay failed: {e}"),
         }

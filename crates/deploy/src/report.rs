@@ -166,6 +166,25 @@ impl DeploymentReport {
     pub fn slots_used(&self) -> usize {
         self.builds.iter().map(|b| b.slot + 1).max().unwrap_or(0)
     }
+
+    /// Total slot-seconds spent *building* — successful work plus failed
+    /// attempts. This is exactly the sum of the runtime telemetry's `busy`
+    /// spans (each build occupies its slot for `cost + wasted`).
+    pub fn slot_busy(&self) -> f64 {
+        self.total_build_time + self.total_wasted
+    }
+
+    /// Total slot-seconds spent *idle* across `build_slots` slots over the
+    /// whole run: `slots × total_clock − slot_busy()`. This is exactly the
+    /// sum of the runtime telemetry's `idle` spans, so
+    /// `slot_busy() + slot_idle(k) == k × total_clock` by construction —
+    /// the invariant the `slot_accounting` suite checks span-by-span. The
+    /// slot count is a parameter (the report does not record the config);
+    /// it is clamped up to [`DeploymentReport::slots_used`] so a
+    /// nonsensical argument cannot yield negative idle time.
+    pub fn slot_idle(&self, build_slots: usize) -> f64 {
+        build_slots.max(self.slots_used()) as f64 * self.total_clock - self.slot_busy()
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,7 @@ use idd_core::{
 };
 use idd_solver::replan::{ReplanStrategy, Replanner, SuffixScoring};
 use idd_solver::SearchBudget;
+use idd_telemetry::{Telemetry, TrackRecorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -266,6 +267,121 @@ impl DeployConfig {
 #[derive(Debug, Clone, Default)]
 pub struct DeployRuntime {
     config: DeployConfig,
+    telemetry: Telemetry,
+    /// Prefix for telemetry track names, so one collector can hold several
+    /// runs side by side (e.g. `"quiet x2/"` in the `trace` bench bin).
+    trace_scope: String,
+}
+
+/// The runtime's telemetry surface: one track for the event loop, one per
+/// build slot. Every method is a no-op when the runtime's [`Telemetry`] is
+/// off (`deploy` is `None` and `slots` is empty), so the execution path is
+/// bit-identical to the uninstrumented one by construction.
+struct RuntimeTrace {
+    deploy: Option<TrackRecorder>,
+    slots: Vec<TrackRecorder>,
+    /// Per-slot busy intervals (start, finish), appended in completion
+    /// order — per slot they are disjoint and time-ordered because a slot
+    /// is only reused after its build completes. Consumed by
+    /// [`RuntimeTrace::finish`] to derive the complementary idle spans.
+    busy: Vec<Vec<(f64, f64)>>,
+}
+
+impl RuntimeTrace {
+    /// The no-op surface, used by the serial reference oracle (which is
+    /// deliberately never instrumented) and by runtimes without telemetry.
+    fn disabled() -> Self {
+        Self {
+            deploy: None,
+            slots: Vec::new(),
+            busy: Vec::new(),
+        }
+    }
+
+    fn new(telemetry: &Telemetry, scope: &str, slots: usize) -> Self {
+        if !telemetry.is_enabled() {
+            return Self::disabled();
+        }
+        let deploy = Some(telemetry.register(format!("{scope}deploy")).recorder());
+        let slot_recorders = (0..slots)
+            .map(|j| telemetry.register(format!("{scope}slot{j}")).recorder())
+            .collect();
+        Self {
+            deploy,
+            slots: slot_recorders,
+            busy: vec![Vec::new(); slots],
+        }
+    }
+
+    fn event_landed(&mut self, clock: f64, label: &str, pending: usize) {
+        if let Some(r) = &mut self.deploy {
+            r.mark_at(clock, "event", label.to_string());
+            r.gauge_at(clock, "pending", pending as f64);
+        }
+    }
+
+    fn debounce(&mut self, clock: f64, deferred: &str, next_event_at: f64) {
+        if let Some(r) = &mut self.deploy {
+            r.mark_at(
+                clock,
+                "debounce",
+                format!("{deferred} next={next_event_at:.2}"),
+            );
+        }
+    }
+
+    fn replan(&mut self, clock: f64, trigger: &str, solver: &str, improved: bool) {
+        if let Some(r) = &mut self.deploy {
+            r.mark_at(
+                clock,
+                "replan",
+                format!("trigger={trigger} solver={solver} improved={improved}"),
+            );
+        }
+    }
+
+    fn dispatch(&mut self, clock: f64, slot: usize, index: IndexId, position: usize) {
+        if let Some(r) = self.slots.get_mut(slot) {
+            r.mark_at(clock, "dispatch", format!("{index} position={position}"));
+        }
+    }
+
+    fn fail(&mut self, clock: f64, slot: usize, index: IndexId, attempt: u32) {
+        if let Some(r) = self.slots.get_mut(slot) {
+            r.mark_at(clock, "fail", format!("{index} attempt={attempt}"));
+        }
+    }
+
+    fn complete(&mut self, slot: usize, index: IndexId, start: f64, finish: f64, pending: usize) {
+        if let Some(r) = self.slots.get_mut(slot) {
+            r.span("busy", start, finish);
+            r.mark_at(finish, "complete", index.to_string());
+            self.busy[slot].push((start, finish));
+        }
+        if let Some(r) = &mut self.deploy {
+            r.gauge_at(finish, "pending", pending as f64);
+        }
+    }
+
+    /// Emits each slot's idle spans: the gaps between its busy intervals
+    /// over `[0, makespan]`, so that per slot busy + idle == makespan (and
+    /// summed, busy + idle == slots × makespan — the invariant the
+    /// `slot_accounting` suite checks against the report totals).
+    fn finish(&mut self, makespan: f64) {
+        for (slot, intervals) in self.busy.iter().enumerate() {
+            let r = &mut self.slots[slot];
+            let mut cursor = 0.0;
+            for &(start, end) in intervals {
+                if start > cursor {
+                    r.span("idle", cursor, start);
+                }
+                cursor = cursor.max(end);
+            }
+            if makespan > cursor {
+                r.span("idle", cursor, makespan);
+            }
+        }
+    }
 }
 
 /// A build occupying a slot: dispatched, not yet completed.
@@ -505,7 +621,32 @@ impl RunState {
 impl DeployRuntime {
     /// Creates a runtime with the given configuration.
     pub fn new(config: DeployConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            telemetry: Telemetry::off(),
+            trace_scope: String::new(),
+        }
+    }
+
+    /// Attaches a telemetry handle (builder style). The default is
+    /// [`Telemetry::off`], under which execution is bit-identical to an
+    /// uninstrumented run. With a recording handle, each run registers one
+    /// event-loop track (`deploy`: event / debounce / replan marks and a
+    /// `pending` queue-depth gauge) plus one track per build slot
+    /// (`slot<j>`: dispatch / fail / complete marks, `busy` spans per
+    /// build, and `idle` spans covering the gaps) — every stamp on the
+    /// logical deployment clock, cross-referenced to the journal records
+    /// by position and clock.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Prefixes this runtime's telemetry track names (builder style), so
+    /// several runs can share one collector without colliding.
+    pub fn with_trace_scope(mut self, scope: impl Into<String>) -> Self {
+        self.trace_scope = scope.into();
+        self
     }
 
     /// The configured replan strategy's label ("static" / "greedy" /
@@ -556,6 +697,7 @@ impl DeployRuntime {
             0.0
         };
         let mut state = RunState::new(instance, initial);
+        let mut trace = RuntimeTrace::new(&self.telemetry, &self.trace_scope, slots);
 
         // Earliest event last, so `pop` yields events in time order.
         let mut queue = scenario.sorted_events();
@@ -580,6 +722,7 @@ impl DeployRuntime {
                     state.deferred_triggers.push(label);
                 }
                 state.report.events_applied += 1;
+                trace.event_landed(state.clock, label, state.pending.len());
                 state.journal.push(JournalRecord::EventLanded(EventRecord {
                     clock: state.clock,
                     event,
@@ -600,15 +743,21 @@ impl DeployRuntime {
                 let can_progress = !state.in_flight.is_empty()
                     || state.next_dispatchable(self.config.dispatch).is_some();
                 if next_within_window && can_progress {
+                    let next_event_at = queue.last().expect("within window").at;
+                    trace.debounce(
+                        state.clock,
+                        &state.deferred_triggers.join("+"),
+                        next_event_at,
+                    );
                     state.journal.push(JournalRecord::Debounce(DebounceRecord {
                         clock: state.clock,
                         deferred: state.deferred_triggers.join("+"),
-                        next_event_at: queue.last().expect("within window").at,
+                        next_event_at,
                     }));
                 } else {
                     let trigger = state.deferred_triggers.join("+");
                     state.deferred_triggers.clear();
-                    self.replan(&mut state, &trigger)?;
+                    self.replan(&mut state, &trigger, &mut trace)?;
                     state.validate_plan()?;
                 }
             }
@@ -714,6 +863,7 @@ impl DeployRuntime {
                         index: next,
                     }));
                     state.committed.push(next);
+                    trace.dispatch(start, slot, next, seq);
                     state.journal.push(JournalRecord::Dispatch(DispatchRecord {
                         clock: start,
                         slot,
@@ -726,6 +876,7 @@ impl DeployRuntime {
                     }));
                     let mut attempt_start = start;
                     for attempt in 1..=retries {
+                        trace.fail(attempt_start, slot, next, attempt);
                         state.journal.push(JournalRecord::Fail(FailRecord {
                             clock: attempt_start,
                             slot,
@@ -779,6 +930,7 @@ impl DeployRuntime {
                 state.built[fl.index.raw()] = true;
                 state.completed_order.push(fl.index);
                 free_slots.push(Reverse(fl.slot));
+                trace.complete(fl.slot, fl.index, fl.start, fl.finish, state.pending.len());
                 state.journal.push(JournalRecord::Complete(CompleteRecord {
                     clock: fl.finish,
                     slot: fl.slot,
@@ -806,6 +958,7 @@ impl DeployRuntime {
 
         state.report.realized_cost = state.realized.value();
         state.report.total_clock = state.clock;
+        trace.finish(state.clock);
         debug_assert!(state.report.prefixes_respected());
         debug_assert!(state.report.in_flight_respected());
         Ok((state.report, DeploymentJournal::new(state.journal)))
@@ -814,7 +967,12 @@ impl DeployRuntime {
     /// Freezes the commitment (built prefix + in-flight set), derives the
     /// residual instance, re-optimizes it warm-started from the pending
     /// order, and splices the result back behind the commitment.
-    fn replan(&self, state: &mut RunState, trigger: &str) -> Result<(), DeployError> {
+    fn replan(
+        &self,
+        state: &mut RunState,
+        trigger: &str,
+        trace: &mut RuntimeTrace,
+    ) -> Result<(), DeployError> {
         if state.pending.is_empty() {
             return Ok(());
         }
@@ -870,6 +1028,7 @@ impl DeployRuntime {
             ));
         }
 
+        trace.replan(state.clock, trigger, &outcome.solver, outcome.improved);
         state.journal.push(JournalRecord::Replan(ReplanDecision {
             clock: state.clock,
             trigger: trigger.to_string(),
@@ -937,7 +1096,11 @@ impl DeployRuntime {
                 state.report.events_applied += 1;
             }
             if !triggers.is_empty() {
-                self.replan(&mut state, &triggers.join("+"))?;
+                self.replan(
+                    &mut state,
+                    &triggers.join("+"),
+                    &mut RuntimeTrace::disabled(),
+                )?;
                 state.validate_plan()?;
             }
 

@@ -397,11 +397,20 @@ fn replay_rejects_tampered_truncated_and_malformed_journals() {
     let err = replay(&inst, &plan, &DeploymentJournal::new(reordered)).unwrap_err();
     assert!(matches!(err, ReplayError::Diverged(_)), "{err}");
 
-    // Malformed JSONL: a broken line names its line number.
+    // Malformed JSONL: a broken line names its 1-based line number, both
+    // in the typed variant and in the rendered message.
     let mut jsonl = journal.to_jsonl();
     jsonl.push_str("{\"not-a-record\":{}}\n");
+    let bad_line = jsonl.lines().count();
     let err = DeploymentJournal::from_jsonl(&jsonl).unwrap_err();
-    assert!(matches!(err, ReplayError::Malformed(_)), "{err}");
+    assert!(
+        matches!(err, ReplayError::Malformed { line, .. } if line == bad_line),
+        "{err}"
+    );
+    assert!(
+        err.to_string().contains(&format!("line {bad_line}")),
+        "{err}"
+    );
 
     // An empty journal replays an empty run only.
     let err = replay(&inst, &plan, &DeploymentJournal::default()).unwrap_err();

@@ -1,0 +1,100 @@
+//! Slot time accounting (ISSUE 9, satellite 1): over the serial-equivalence
+//! grid, the runtime telemetry's per-slot `busy`/`idle` spans must tile
+//! each slot's timeline exactly — `busy + idle == build_slots × makespan` —
+//! and the span-derived totals must agree with the report's
+//! `slot_busy()` / `slot_idle(k)` accessors, so the report methods are
+//! anchored to the timeline rather than being a restatement of themselves.
+
+mod common;
+
+use common::{initial_plan, instance, policy, scenario};
+use idd_deploy::DeployRuntime;
+use idd_telemetry::Telemetry;
+
+/// Tolerance for slot-seconds sums: the spans are re-derived from
+/// `finish − start` differences, which can differ from the report's
+/// `cost + wasted` accumulators in the last bits.
+const EPS: f64 = 1e-9;
+
+#[test]
+fn busy_plus_idle_tiles_every_slot_timeline() {
+    for inst_seed in [3u64, 17] {
+        let inst = instance(inst_seed);
+        let plan = initial_plan(&inst, inst_seed.wrapping_mul(31) + 1);
+        for kind in 0u8..5 {
+            let scenario = scenario(&inst, kind, 11 + inst_seed);
+            for policy_choice in 0u8..3 {
+                for slots in [1usize, 2, 3] {
+                    let telemetry = Telemetry::recording();
+                    let config = policy(policy_choice).with_build_slots(slots);
+                    let runtime = DeployRuntime::new(config).with_telemetry(telemetry.clone());
+                    let report = runtime
+                        .execute(&inst, &plan, &scenario)
+                        .expect("grid scenarios must execute");
+                    let stream = telemetry.drain();
+
+                    // Track 0 is the event loop; tracks 1..=slots are the
+                    // build slots.
+                    assert_eq!(stream.tracks.len(), 1 + slots, "one track per slot");
+                    let mut busy = 0.0;
+                    let mut idle = 0.0;
+                    for slot in 0..slots {
+                        let track = 1 + slot;
+                        assert_eq!(stream.track_name(track), format!("slot{slot}"));
+                        let slot_busy = stream.span_total(track, "busy");
+                        let slot_idle = stream.span_total(track, "idle");
+                        // Each slot's own spans tile [0, makespan].
+                        assert!(
+                            (slot_busy + slot_idle - report.total_clock).abs() <= EPS,
+                            "slot {slot}: busy {slot_busy} + idle {slot_idle} \
+                             != makespan {} (seed {inst_seed} kind {kind} \
+                             policy {policy_choice} slots {slots})",
+                            report.total_clock,
+                        );
+                        busy += slot_busy;
+                        idle += slot_idle;
+                    }
+
+                    // The invariant: busy + idle == build_slots × makespan.
+                    let total = slots as f64 * report.total_clock;
+                    assert!(
+                        (busy + idle - total).abs() <= EPS,
+                        "busy {busy} + idle {idle} != {slots} × {}",
+                        report.total_clock,
+                    );
+
+                    // And the report's accessors agree with the spans.
+                    assert!(
+                        (report.slot_busy() - busy).abs() <= EPS,
+                        "slot_busy() {} != span-derived busy {busy}",
+                        report.slot_busy(),
+                    );
+                    assert!(
+                        (report.slot_idle(slots) - idle).abs() <= EPS,
+                        "slot_idle({slots}) {} != span-derived idle {idle}",
+                        report.slot_idle(slots),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn slot_idle_clamps_to_slots_actually_used() {
+    let inst = instance(5);
+    let plan = initial_plan(&inst, 9);
+    let scenario = scenario(&inst, 4, 0); // quiet
+    let report = DeployRuntime::new(policy(0).with_build_slots(2))
+        .execute(&inst, &plan, &scenario)
+        .expect("quiet grid scenario must execute");
+    let used = report.slots_used();
+    assert!(used >= 1);
+    // Understating the slot count cannot produce negative idle time: the
+    // accessor clamps up to the realized concurrency ceiling.
+    assert!(report.slot_idle(0) >= -1e-9);
+    assert_eq!(
+        report.slot_idle(0).to_bits(),
+        report.slot_idle(used).to_bits()
+    );
+}

@@ -158,6 +158,7 @@ impl LnsSolver {
             let relaxed: Vec<IndexId> = match stolen {
                 Some(hint) => {
                     coop.stats.hints_stolen += 1;
+                    idd_telemetry::mark("hint-steal", format!("size={}", hint.len()));
                     hint
                 }
                 None => {
@@ -201,6 +202,14 @@ impl LnsSolver {
                 if coop.policy().steals() {
                     // This destroy set just paid off — share it, valued at
                     // what it paid.
+                    idd_telemetry::mark(
+                        "hint-publish",
+                        format!(
+                            "size={} gain={:.4}",
+                            relaxed.len(),
+                            area_before - current_area
+                        ),
+                    );
                     ctx.hints().push_scored(relaxed, area_before - current_area);
                     coop.stats.hints_published += 1;
                 }
@@ -245,6 +254,10 @@ impl LnsSolver {
                     trajectory.record(clock.elapsed_seconds(), current_area);
                     ctx.publish_deployment(current_area, current.order());
                     if coop.policy().steals() {
+                        idd_telemetry::mark(
+                            "hint-publish",
+                            format!("size={} gain={gain:.4}", relaxed.len()),
+                        );
                         ctx.hints().push_scored(relaxed, gain);
                         coop.stats.hints_published += 1;
                     }
@@ -257,6 +270,7 @@ impl LnsSolver {
             }
         }
 
+        coop.emit_counters(iterations);
         SolveResult {
             solver: "lns".into(),
             deployment: Some(current),

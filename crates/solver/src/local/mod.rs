@@ -114,6 +114,7 @@ impl Cooperator {
         }
         self.since_improvement = 0;
         self.stats.restarts += 1;
+        idd_telemetry::mark("restart", format!("stall={}", self.stall_iterations));
         // Lock-free pre-check: nothing new published since the last look
         // (the member's own publications bump the epoch too, but they can
         // never be strictly better than its current incumbent).
@@ -129,10 +130,28 @@ impl Cooperator {
         if snapshot.objective < current_area - 1e-12 && constraints.is_satisfied_by(&snapshot.order)
         {
             self.stats.adoptions += 1;
+            idd_telemetry::mark_epoch(
+                "adoption",
+                format!("objective={:.4}", snapshot.objective),
+                epoch,
+            );
             Some(snapshot)
         } else {
             None
         }
+    }
+
+    /// Emits this member's end-of-run totals — the iteration count plus
+    /// every [`CoopStats`] counter — onto the calling thread's telemetry
+    /// track. Called once, right before the search builds its
+    /// [`SolveResult`](crate::result::SolveResult); a no-op without an
+    /// installed recorder.
+    pub fn emit_counters(&self, iterations: u64) {
+        idd_telemetry::counter("iterations", iterations);
+        idd_telemetry::counter("restarts", self.stats.restarts);
+        idd_telemetry::counter("adoptions", self.stats.adoptions);
+        idd_telemetry::counter("hints_stolen", self.stats.hints_stolen);
+        idd_telemetry::counter("hints_published", self.stats.hints_published);
     }
 }
 

@@ -212,6 +212,7 @@ impl TabuSolver {
                 if coop.policy().steals() {
                     // The improving pair is a natural 2-index destroy set,
                     // valued at the improvement it just bought.
+                    idd_telemetry::mark("hint-publish", format!("size=2 gain={gain:.4}"));
                     ctx.hints().push_scored(vec![ia, ib], gain);
                     coop.stats.hints_published += 1;
                 }
@@ -221,6 +222,7 @@ impl TabuSolver {
             }
         }
 
+        coop.emit_counters(iteration as u64);
         SolveResult {
             solver: name.to_string(),
             deployment: Some(best_order),

@@ -245,6 +245,14 @@ impl VnsSolver {
                     // LNS worker on another thread may profit from it too —
                     // valued at the improvement it produced (polish
                     // included).
+                    idd_telemetry::mark(
+                        "hint-publish",
+                        format!(
+                            "size={} gain={:.4}",
+                            relaxed.len(),
+                            area_before - current_area
+                        ),
+                    );
                     ctx.hints().push_scored(relaxed, area_before - current_area);
                     coop.stats.hints_published += 1;
                 }
@@ -274,6 +282,7 @@ impl VnsSolver {
             }
         }
 
+        coop.emit_counters(iterations);
         SolveResult {
             solver: "vns".into(),
             deployment: Some(current),

@@ -36,6 +36,7 @@ use crate::random::RandomSolver;
 use crate::result::{CoopStats, SolveOutcome, SolveResult};
 use crate::solver::{CooperationPolicy, SolveContext, Solver};
 use idd_core::ProblemInstance;
+use idd_telemetry::Telemetry;
 
 /// Configuration of the portfolio runner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +98,7 @@ impl PortfolioOutcome {
 pub struct PortfolioSolver {
     config: PortfolioConfig,
     members: Vec<Box<dyn Solver>>,
+    telemetry: Telemetry,
 }
 
 impl PortfolioSolver {
@@ -149,6 +151,7 @@ impl PortfolioSolver {
                 ..PortfolioConfig::default()
             },
             members,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -161,6 +164,17 @@ impl PortfolioSolver {
     /// Sets the cooperation policy (builder style).
     pub fn with_cooperation(mut self, cooperation: CooperationPolicy) -> Self {
         self.config.cooperation = cooperation;
+        self
+    }
+
+    /// Attaches a telemetry handle (builder style). The default is
+    /// [`Telemetry::off`], under which the race is bit-identical to an
+    /// uninstrumented one. With a recording handle, each member gets its
+    /// own track (`solver/<index>-<name>`) carrying a wall-clock `run`
+    /// span, incumbent-publish / restart / adoption / hint marks, and
+    /// end-of-run counters.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -214,13 +228,34 @@ impl PortfolioSolver {
         // the derived handle shares the cancel token, incumbent cell and
         // hint deque, so outer cancellation and observation still work.
         let ctx = &ctx.with_policy(self.config.cooperation);
+        // Register member tracks on this thread, in member order, *before*
+        // spawning: track ids are then deterministic regardless of how the
+        // OS schedules the race.
+        let tracks: Vec<_> = self
+            .members
+            .iter()
+            .enumerate()
+            .map(|(k, member)| {
+                self.telemetry
+                    .register(format!("solver/{:02}-{}", k, member.name()))
+            })
+            .collect();
         let members: Vec<SolveResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .members
                 .iter()
-                .map(|member| {
+                .zip(&tracks)
+                .map(|(member, track)| {
                     scope.spawn(move || {
+                        // Park this member's recorder in the thread-local
+                        // slot so the local searches (whose trait signature
+                        // carries no telemetry) can emit through the free
+                        // functions; the guard submits the buffer when the
+                        // member finishes.
+                        let _guard = track.install();
+                        idd_telemetry::span_begin("run");
                         let result = member.run(instance, budget, ctx);
+                        idd_telemetry::span_end("run");
                         if self.config.cancel_on_optimal && result.is_optimal() {
                             ctx.cancel_token().cancel();
                         }

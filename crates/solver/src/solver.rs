@@ -492,14 +492,27 @@ impl SolveContext {
     }
 
     /// Publishes an objective to the shared incumbent (convenience).
+    ///
+    /// The publish *offer* is recorded on the calling thread's telemetry
+    /// track (the mark is per-member deterministic under fixed seeds; the
+    /// racy *acceptance* result is not, so it stays out of the detail).
     pub fn publish(&self, objective: f64) -> bool {
+        idd_telemetry::mark("publish", format!("objective={objective:.4}"));
         self.incumbent.offer(objective)
     }
 
     /// Publishes a deployment and its objective to the shared incumbent
-    /// (convenience).
+    /// (convenience). The telemetry mark carries the post-offer epoch in
+    /// the epoch field (excluded from deterministic exports — epochs count
+    /// cross-thread publications and are scheduling-dependent).
     pub fn publish_deployment(&self, objective: f64, order: &[IndexId]) -> bool {
-        self.incumbent.offer_deployment(objective, order)
+        let accepted = self.incumbent.offer_deployment(objective, order);
+        idd_telemetry::mark_epoch(
+            "publish-deployment",
+            format!("objective={objective:.4}"),
+            self.incumbent.epoch(),
+        );
+        accepted
     }
 }
 

@@ -1,0 +1,254 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Renders a [`TraceStream`] into the [Trace Event
+//! Format] consumed by `chrome://tracing` and [Perfetto] (ui.perfetto.dev →
+//! "Open trace file"). The export is a JSON array of event objects; this is
+//! the *profiling* view, so wall-clock timestamps and shared-incumbent
+//! epochs — both nondeterministic — are included deliberately. Golden tests
+//! must use [`summary::render`](crate::summary::render) instead.
+//!
+//! Mapping:
+//!
+//! | [`EventKind`]         | phase  | timestamp source                      |
+//! |-----------------------|--------|---------------------------------------|
+//! | `Span` (logical)      | `"X"`  | logical clock × 1e6 (1 s = 1 "µs" s)  |
+//! | `SpanBegin`/`SpanEnd` | `"B"`/`"E"` | `wall_us`                        |
+//! | `Counter` / `Gauge`   | `"C"`  | `wall_us` (logical clock in args)     |
+//! | `Mark`                | `"i"`  | logical clock if present, else wall   |
+//!
+//! Logical-clock spans and wall-clock spans are emitted under different
+//! process ids (`pid` 1 = logical timeline, `pid` 2 = wall timeline) so the
+//! two time bases never share a lane; each track gets a `thread_name`
+//! metadata record in both processes.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::{Event, EventKind, TraceStream};
+use serde::Value;
+
+/// `pid` for the logical-clock (deployment seconds) timeline.
+const PID_LOGICAL: i64 = 1;
+/// `pid` for the wall-clock timeline.
+const PID_WALL: i64 = 2;
+
+/// Renders the stream as Chrome trace-event JSON (an array of event
+/// objects). The output parses back with `serde_json::parse_value` and
+/// loads in Perfetto / `chrome://tracing`.
+pub fn render(stream: &TraceStream) -> String {
+    let mut events: Vec<Value> = Vec::new();
+
+    for (id, name) in stream.tracks.iter().enumerate() {
+        for pid in [PID_LOGICAL, PID_WALL] {
+            events.push(thread_name(pid, id as i64, name));
+        }
+    }
+
+    for event in &stream.events {
+        events.push(render_event(event));
+    }
+
+    serde_json::to_string(&Value::Array(events)).expect("Value serialization is infallible")
+}
+
+fn thread_name(pid: i64, tid: i64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::String("thread_name".into())),
+        ("ph", Value::String("M".into())),
+        ("pid", Value::Int(pid)),
+        ("tid", Value::Int(tid)),
+        ("args", obj(vec![("name", Value::String(name.to_string()))])),
+    ])
+}
+
+fn render_event(event: &Event) -> Value {
+    let tid = Value::Int(event.track as i64);
+    match &event.kind {
+        EventKind::Span { name, start, end } => obj(vec![
+            ("name", Value::String(name.clone())),
+            ("ph", Value::String("X".into())),
+            ("ts", micros(*start)),
+            ("dur", micros(end - start)),
+            ("pid", Value::Int(PID_LOGICAL)),
+            ("tid", tid),
+            ("args", args(event)),
+        ]),
+        EventKind::SpanBegin { name } | EventKind::SpanEnd { name } => {
+            let ph = match event.kind {
+                EventKind::SpanBegin { .. } => "B",
+                _ => "E",
+            };
+            obj(vec![
+                ("name", Value::String(name.clone())),
+                ("ph", Value::String(ph.into())),
+                ("ts", Value::UInt(event.wall_us)),
+                ("pid", Value::Int(PID_WALL)),
+                ("tid", tid),
+                ("args", args(event)),
+            ])
+        }
+        EventKind::Counter { name, value } => obj(vec![
+            ("name", Value::String(name.clone())),
+            ("ph", Value::String("C".into())),
+            ("ts", Value::UInt(event.wall_us)),
+            ("pid", Value::Int(PID_WALL)),
+            ("tid", tid),
+            ("args", obj(vec![(name.as_str(), Value::UInt(*value))])),
+        ]),
+        EventKind::Gauge { name, value } => {
+            let (pid, ts) = timestamp(event);
+            obj(vec![
+                ("name", Value::String(name.clone())),
+                ("ph", Value::String("C".into())),
+                ("ts", ts),
+                ("pid", Value::Int(pid)),
+                ("tid", tid),
+                ("args", obj(vec![(name.as_str(), Value::Float(*value))])),
+            ])
+        }
+        EventKind::Mark { name, detail } => {
+            let (pid, ts) = timestamp(event);
+            let mut entries = vec![("detail", Value::String(detail.clone()))];
+            if let Some(epoch) = event.epoch {
+                entries.push(("epoch", Value::UInt(epoch)));
+            }
+            obj(vec![
+                ("name", Value::String(name.clone())),
+                ("ph", Value::String("i".into())),
+                ("ts", ts),
+                ("pid", Value::Int(pid)),
+                ("tid", tid),
+                ("s", Value::String("t".into())),
+                ("args", obj(entries)),
+            ])
+        }
+    }
+}
+
+/// Events stamped with a logical clock go on the logical timeline at that
+/// clock; everything else goes on the wall timeline at `wall_us`.
+fn timestamp(event: &Event) -> (i64, Value) {
+    match event.clock {
+        Some(clock) => (PID_LOGICAL, micros(clock)),
+        None => (PID_WALL, Value::UInt(event.wall_us)),
+    }
+}
+
+fn args(event: &Event) -> Value {
+    let mut entries = Vec::new();
+    if let Some(clock) = event.clock {
+        entries.push(("clock", Value::Float(clock)));
+    }
+    if let Some(epoch) = event.epoch {
+        entries.push(("epoch", Value::UInt(epoch)));
+    }
+    entries.push(("seq", Value::UInt(event.seq)));
+    obj(entries)
+}
+
+/// One logical second maps to 1e6 trace "microseconds" so Perfetto's ruler
+/// reads deployment seconds directly.
+fn micros(seconds: f64) -> Value {
+    Value::Float(seconds * 1e6)
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    /// JSON round-trips normalize number forms (`3.0` may parse back as an
+    /// integer), so tests compare numerically rather than by `Value` arm.
+    fn as_f64(value: Option<&Value>) -> f64 {
+        match value {
+            Some(Value::Int(n)) => *n as f64,
+            Some(Value::UInt(n)) => *n as f64,
+            Some(Value::Float(n)) => *n,
+            other => panic!("expected a number, got {other:?}"),
+        }
+    }
+
+    fn sample_stream() -> TraceStream {
+        let telemetry = Telemetry::recording();
+        let solver = telemetry.register("solver/00-vns");
+        let slot = telemetry.register("deploy/slot0");
+        let mut rs = solver.recorder();
+        rs.span_begin("run");
+        rs.mark_epoch("publish", "objective=4.2500", 3);
+        rs.counter("iterations", 128);
+        rs.span_end("run");
+        drop(rs);
+        let mut rd = slot.recorder();
+        rd.mark_at(0.0, "dispatch", "index=i0");
+        rd.span("busy", 0.0, 2.5);
+        rd.gauge_at(2.5, "pending", 1.0);
+        drop(rd);
+        telemetry.drain()
+    }
+
+    #[test]
+    fn export_is_valid_trace_event_json() {
+        let json = render(&sample_stream());
+        let value = serde_json::parse_value(&json).expect("export must parse as JSON");
+        let events = value.as_array().expect("top level must be an array");
+        // 2 tracks × 2 pids metadata + 7 events.
+        assert_eq!(events.len(), 11);
+        for event in events {
+            let obj = event.as_object().expect("each event is an object");
+            for key in ["name", "ph", "pid", "tid"] {
+                assert!(event.get(key).is_some(), "event missing `{key}`: {obj:?}");
+            }
+            let ph = match event.get("ph") {
+                Some(Value::String(ph)) => ph.as_str(),
+                other => panic!("ph must be a string, got {other:?}"),
+            };
+            assert!(matches!(ph, "M" | "X" | "B" | "E" | "C" | "i"));
+            if ph != "M" {
+                assert!(event.get("ts").is_some(), "non-metadata event missing ts");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_spans_land_on_the_logical_timeline() {
+        let json = render(&sample_stream());
+        let value = serde_json::parse_value(&json).unwrap();
+        let busy = value
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name") == Some(&Value::String("busy".into())))
+            .expect("busy span exported");
+        assert_eq!(busy.get("ph"), Some(&Value::String("X".into())));
+        assert_eq!(busy.get("pid"), Some(&Value::Int(PID_LOGICAL)));
+        assert_eq!(as_f64(busy.get("ts")), 0.0);
+        assert_eq!(as_f64(busy.get("dur")), 2.5e6);
+    }
+
+    #[test]
+    fn marks_carry_detail_and_epoch() {
+        let json = render(&sample_stream());
+        let value = serde_json::parse_value(&json).unwrap();
+        let publish = value
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name") == Some(&Value::String("publish".into())))
+            .expect("publish mark exported");
+        let args = publish.get("args").expect("instant events carry args");
+        assert_eq!(
+            args.get("detail"),
+            Some(&Value::String("objective=4.2500".into()))
+        );
+        assert_eq!(as_f64(args.get("epoch")), 3.0);
+    }
+}

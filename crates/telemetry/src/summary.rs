@@ -1,0 +1,115 @@
+//! Deterministic text summary exporter.
+//!
+//! The golden-stable view of a [`TraceStream`]: only
+//! the deterministic event fields (track, sequence, logical clock, kind)
+//! are rendered — wall-clock microseconds and shared-incumbent epochs are
+//! omitted entirely, so under fixed seeds and budgets two runs render
+//! byte-identical summaries regardless of scheduling. This is the exporter
+//! the `trace --tiny` golden pins.
+
+use crate::{EventKind, TraceStream};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the stream as a deterministic text summary: one section per
+/// track (in track-id order, which is registration order), one line per
+/// event (in emission order), then an aggregate section totalling every
+/// counter name across tracks.
+pub fn render(stream: &TraceStream) -> String {
+    let mut out = String::new();
+    for (id, name) in stream.tracks.iter().enumerate() {
+        let events: Vec<_> = stream.events_for(id).collect();
+        let _ = writeln!(out, "track {id}: {name} ({} events)", events.len());
+        for event in events {
+            let _ = write!(out, "  #{:03}", event.seq);
+            if let Some(clock) = event.clock {
+                let _ = write!(out, " @{clock:.2}");
+            }
+            match &event.kind {
+                EventKind::SpanBegin { name } => {
+                    let _ = writeln!(out, " begin {name}");
+                }
+                EventKind::SpanEnd { name } => {
+                    let _ = writeln!(out, " end   {name}");
+                }
+                EventKind::Span { name, start, end } => {
+                    let _ = writeln!(
+                        out,
+                        " span  {name} [{start:.2}, {end:.2}] dur={:.2}",
+                        end - start
+                    );
+                }
+                EventKind::Counter { name, value } => {
+                    let _ = writeln!(out, " count {name} = {value}");
+                }
+                EventKind::Gauge { name, value } => {
+                    let _ = writeln!(out, " gauge {name} = {value:.2}");
+                }
+                EventKind::Mark { name, detail } => {
+                    if detail.is_empty() {
+                        let _ = writeln!(out, " mark  {name}");
+                    } else {
+                        let _ = writeln!(out, " mark  {name} {detail}");
+                    }
+                }
+            }
+        }
+    }
+
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in &stream.events {
+        if let EventKind::Counter { name, value } = &event.kind {
+            *totals.entry(name.as_str()).or_insert(0) += value;
+        }
+    }
+    let _ = writeln!(out, "counter totals:");
+    if totals.is_empty() {
+        let _ = writeln!(out, "  (none)");
+    } else {
+        for (name, total) in totals {
+            let _ = writeln!(out, "  {name} = {total}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn summary_is_deterministic_and_omits_wall_clock() {
+        let build = || {
+            let telemetry = Telemetry::recording();
+            let a = telemetry.register("solver/00-lns");
+            let b = telemetry.register("deploy/slot0");
+            let mut ra = a.recorder();
+            ra.mark_epoch("publish", "objective=7.5000", 42);
+            ra.counter("iterations", 10);
+            drop(ra);
+            let mut rb = b.recorder();
+            rb.span("busy", 1.0, 3.0);
+            rb.gauge_at(3.0, "pending", 2.0);
+            rb.counter("iterations", 5);
+            drop(rb);
+            render(&telemetry.drain())
+        };
+        let first = build();
+        // Sleep-free but temporally distinct second run: wall_us differs,
+        // the summary must not.
+        let second = build();
+        assert_eq!(first, second);
+        assert!(first.contains("track 0: solver/00-lns (2 events)"));
+        assert!(first.contains("mark  publish objective=7.5000"));
+        assert!(first.contains("span  busy [1.00, 3.00] dur=2.00"));
+        assert!(first.contains("  iterations = 15"));
+        assert!(!first.contains("42"), "epoch must not leak into summary");
+    }
+
+    #[test]
+    fn empty_stream_renders_counter_placeholder() {
+        let rendered = render(&Telemetry::off().drain());
+        assert_eq!(rendered, "counter totals:\n  (none)\n");
+    }
+}
