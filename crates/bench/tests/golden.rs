@@ -113,6 +113,19 @@ fn table11_tiny_output_matches_golden() {
     check(env!("CARGO_BIN_EXE_table11"), "table11_tiny.txt");
 }
 
+/// `table12 --tiny` pins the decomposition contract: on a hand-specified
+/// zero-coupling instance the shard-and-recombine objective must equal the
+/// monolithic portfolio's CP-proved optimum bit-for-bit, and the reported
+/// number must be exactly the full-instance evaluator's verdict on the
+/// spliced order. Node budgets, cooperation off, no cancellation race and
+/// sequential shard solving keep every printed number machine-independent;
+/// the binary itself exits non-zero if either equivalence breaks, so a
+/// recombination bug fails here twice over.
+#[test]
+fn table12_tiny_output_matches_golden() {
+    check(env!("CARGO_BIN_EXE_table12"), "table12_tiny.txt");
+}
+
 /// `figure14 --tiny` pins the journal/replay surface: the hand-specified
 /// instance and scenarios executed at 1 / 2 / 4 build slots produce
 /// machine-independent realized-cost polylines (read verbatim off the

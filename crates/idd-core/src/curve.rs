@@ -4,9 +4,20 @@
 //! starts at the baseline runtime and drops each time an index finishes
 //! building. The objective is exactly the area under it over the deployment
 //! window.
+//!
+//! Besides the plotted curve, this module carries the *schedule-as-benefit-
+//! curve* view used by shard recombination: a fixed deployment order reduces
+//! to a sequence of [`BenefitStep`]s (build cost, runtime drop), and
+//! [`density_blocks`] decomposes that sequence into its maximal-density
+//! prefix blocks. For independent sub-schedules, interleaving the blocks in
+//! non-increasing density order minimizes the total area (Smith's rule
+//! lifted from jobs to blocks), which is how `idd-solver`'s decomposer
+//! merges per-shard schedules back into one deployment.
 
 use crate::objective::ObjectiveValue;
+use crate::types::IndexId;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// One point of the improvement curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +101,122 @@ impl ImprovementCurve {
     }
 }
 
+/// One build step of a fixed schedule, reduced to what the recombination
+/// merge needs: how long the step occupies the deployment clock and how much
+/// workload runtime it releases when it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenefitStep {
+    /// The index built at this step.
+    pub index: IndexId,
+    /// Effective build cost of the step (interactions with *earlier* steps
+    /// of the same schedule already applied).
+    pub cost: f64,
+    /// Runtime drop realized when the step completes
+    /// (`runtime_before − runtime_after`, never negative).
+    pub benefit: f64,
+}
+
+/// Extracts the benefit-curve view of an evaluated deployment. Requires the
+/// step trace, i.e. a value produced by `ObjectiveEvaluator::evaluate`, not
+/// the area-only fast path.
+pub fn benefit_steps(value: &ObjectiveValue) -> Vec<BenefitStep> {
+    value
+        .steps
+        .iter()
+        .map(|s| BenefitStep {
+            index: s.index,
+            cost: s.build_cost,
+            benefit: s.runtime_before - s.runtime_after,
+        })
+        .collect()
+}
+
+/// A contiguous run of schedule steps that must be kept together when the
+/// schedule is interleaved with independent work (see [`density_blocks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleBlock {
+    /// Position of the block's first step in the source schedule.
+    pub start: usize,
+    /// Number of steps in the block.
+    pub len: usize,
+    /// Summed effective build cost of the block's steps.
+    pub cost: f64,
+    /// Summed runtime drop of the block's steps.
+    pub benefit: f64,
+}
+
+/// Density classes make the comparison total without ever dividing:
+/// a free block that releases runtime is denser than everything finite,
+/// and a free block that releases nothing is inert and compares equal to
+/// other inert blocks at the very back.
+fn density_class(cost: f64, benefit: f64) -> u8 {
+    if cost > 0.0 {
+        1
+    } else if benefit > 0.0 {
+        0 // zero cost, positive benefit: infinite density
+    } else {
+        2 // zero cost, zero benefit: inert
+    }
+}
+
+impl ScheduleBlock {
+    /// Density ordering: `Greater` means `self` is denser than `other` and
+    /// should be scheduled earlier. Densities are compared by
+    /// cross-multiplication (`benefit_a·cost_b` vs `benefit_b·cost_a`), so
+    /// zero-cost blocks never produce `inf`/`NaN` and equal densities
+    /// compare exactly `Equal` — callers add their own deterministic
+    /// tie-break.
+    pub fn density_cmp(&self, other: &ScheduleBlock) -> Ordering {
+        let class_a = density_class(self.cost, self.benefit);
+        let class_b = density_class(other.cost, other.benefit);
+        if class_a != class_b {
+            // Lower class = denser.
+            return class_b.cmp(&class_a);
+        }
+        if class_a != 1 {
+            return Ordering::Equal;
+        }
+        (self.benefit * other.cost).total_cmp(&(other.benefit * self.cost))
+    }
+}
+
+/// Decomposes a fixed schedule into its maximal-density prefix blocks: the
+/// unique partition into contiguous runs whose densities strictly decrease.
+///
+/// The exchange argument behind it: if a later step (or run) is at least as
+/// dense as the run before it, no optimal interleaving with independent work
+/// ever separates the two — anything worth inserting between them is worth
+/// inserting before both — so they fuse into one block. What remains is the
+/// schedule's canonical form for Smith-style merging: interleave blocks from
+/// independent schedules in non-increasing density order and the total area
+/// is minimized over all interleavings that preserve each schedule's
+/// internal order.
+pub fn density_blocks(steps: &[BenefitStep]) -> Vec<ScheduleBlock> {
+    let mut blocks: Vec<ScheduleBlock> = Vec::with_capacity(steps.len());
+    for (k, step) in steps.iter().enumerate() {
+        let mut current = ScheduleBlock {
+            start: k,
+            len: 1,
+            cost: step.cost,
+            benefit: step.benefit,
+        };
+        while let Some(previous) = blocks.last() {
+            if current.density_cmp(previous) == Ordering::Less {
+                break;
+            }
+            let previous = blocks.pop().expect("last() was Some");
+            current = ScheduleBlock {
+                start: previous.start,
+                len: previous.len + current.len,
+                cost: previous.cost + current.cost,
+                benefit: previous.benefit + current.benefit,
+            };
+        }
+        blocks.push(current);
+    }
+    blocks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +259,103 @@ mod tests {
         assert_eq!(curve.runtime_at(9.9), 25.0);
         assert_eq!(curve.runtime_at(10.0), 10.0);
         assert_eq!(curve.runtime_at(100.0), 10.0);
+    }
+
+    fn step(cost: f64, benefit: f64) -> BenefitStep {
+        BenefitStep {
+            index: IndexId::new(0),
+            cost,
+            benefit,
+        }
+    }
+
+    #[test]
+    fn decreasing_densities_stay_separate_blocks() {
+        let blocks = density_blocks(&[step(1.0, 9.0), step(1.0, 4.0), step(1.0, 1.0)]);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(
+            blocks.iter().map(|b| (b.start, b.len)).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 1), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn increasing_densities_fuse_into_one_block() {
+        // A later, denser step can never be profitably separated from its
+        // predecessor, so the whole ascending run is one block.
+        let blocks = density_blocks(&[step(4.0, 1.0), step(2.0, 2.0), step(1.0, 8.0)]);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].start, 0);
+        assert_eq!(blocks[0].len, 3);
+        assert_eq!(blocks[0].cost, 7.0);
+        assert_eq!(blocks[0].benefit, 11.0);
+    }
+
+    #[test]
+    fn valley_fuses_with_the_peak_behind_it() {
+        // 5, 0.5, 4: the cheap-but-dense tail pulls the valley forward but
+        // cannot jump over it, so valley+tail fuse (density 4.5/2 = 2.25)
+        // and stay behind the leading density-5 step.
+        let blocks = density_blocks(&[step(1.0, 5.0), step(1.0, 0.5), step(1.0, 4.0)]);
+        assert_eq!(
+            blocks.iter().map(|b| (b.start, b.len)).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2)]
+        );
+        assert_eq!(blocks[1].benefit, 4.5);
+    }
+
+    #[test]
+    fn zero_cost_steps_compare_without_nan() {
+        // Free-and-useful is denser than everything; free-and-inert ties
+        // only with itself at the back.
+        let infinite = ScheduleBlock {
+            start: 0,
+            len: 1,
+            cost: 0.0,
+            benefit: 1.0,
+        };
+        let finite = ScheduleBlock {
+            start: 0,
+            len: 1,
+            cost: 2.0,
+            benefit: 100.0,
+        };
+        let inert = ScheduleBlock {
+            start: 0,
+            len: 1,
+            cost: 0.0,
+            benefit: 0.0,
+        };
+        assert_eq!(infinite.density_cmp(&finite), Ordering::Greater);
+        assert_eq!(finite.density_cmp(&inert), Ordering::Greater);
+        assert_eq!(inert.density_cmp(&inert), Ordering::Equal);
+        // Equal finite densities at different scales are exactly equal.
+        let a = ScheduleBlock {
+            start: 0,
+            len: 1,
+            cost: 2.0,
+            benefit: 10.0,
+        };
+        let b = ScheduleBlock {
+            start: 0,
+            len: 1,
+            cost: 1.0,
+            benefit: 5.0,
+        };
+        assert_eq!(a.density_cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn benefit_steps_read_off_the_objective_trace() {
+        let inst = example();
+        let eval = ObjectiveEvaluator::new(&inst);
+        let v = eval.evaluate(&Deployment::from_raw([0, 1]));
+        let steps = benefit_steps(&v);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].cost, 4.0);
+        assert_eq!(steps[0].benefit, 5.0);
+        assert_eq!(steps[1].cost, 6.0);
+        assert_eq!(steps[1].benefit, 15.0);
     }
 
     #[test]

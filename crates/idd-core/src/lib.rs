@@ -49,7 +49,9 @@ pub mod util;
 pub mod prelude;
 
 pub use accsum::ExactSum;
-pub use curve::{CurvePoint, ImprovementCurve};
+pub use curve::{
+    benefit_steps, density_blocks, BenefitStep, CurvePoint, ImprovementCurve, ScheduleBlock,
+};
 pub use error::{CoreError, Result};
 pub use evolution::{
     BuildFailure, DesignRevision, EventKind, EvolutionEvent, EvolutionScenario, IndexAddition,

@@ -184,6 +184,11 @@ fn analysis_reports_constraints_for_the_workload_instance() {
     // The fixed point terminates and the resulting closure (which may well be
     // empty on a dense instance) must still admit a feasible order.
     assert!(report.rounds >= 1);
+    assert!(
+        report.converged,
+        "the default round budget must reach a genuine fixed point on the \
+         workload instance, not a clipped one"
+    );
     let mut placed = vec![false; instance.num_indexes()];
     for _ in 0..instance.num_indexes() {
         let next = instance

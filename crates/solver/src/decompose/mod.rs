@@ -1,0 +1,427 @@
+//! # Shard-and-recombine solving
+//!
+//! The Section-5 property analysis doubles as a *decomposer*: the same
+//! structural facts the detectors consume (which plans share indexes, which
+//! indexes compete for a query, which builds interact) define a coupling
+//! graph over the indexes. Components of that graph are independent
+//! sub-problems — an index's position relative to another component's
+//! indexes never changes the objective — so each component ("shard") can be
+//! solved by its own portfolio race and the per-shard schedules recombined:
+//!
+//! 1. [`properties::analyze`](crate::properties::analyze) — if the fixed
+//!    point was **clipped** (`!report.converged`) the decomposer refuses to
+//!    shard and falls back to a monolithic solve: a clipped analysis could
+//!    under-report alliances, and alliances pin shard membership.
+//! 2. [`CouplingGraph::build`] + [`CouplingGraph::partition`] — cut soft
+//!    edges below the configured threshold (`0.0` cuts nothing ⇒ the
+//!    partition is *exact*); hard precedence/alliance edges are never cut.
+//! 3. [`shard::project`] each component onto a self-contained sub-instance
+//!    and race the standard portfolio on every shard in parallel.
+//! 4. Read each shard schedule back as a benefit curve
+//!    ([`idd_core::benefit_steps`]), decompose into maximal-density prefix
+//!    blocks and [`recombine::merge`] by Smith's rule — the optimal
+//!    order-preserving interleave.
+//! 5. Re-evaluate the spliced order against the **full** instance with
+//!    [`ObjectiveEvaluator`]; the reported objective is always that exact
+//!    number, never a sum of shard objectives.
+//!
+//! The combined outcome claims [`SolveOutcome::Optimal`] only when the
+//! partition was exact *and* every shard proved its own optimum: for
+//! independent shards the block merge is optimal over order-preserving
+//! interleaves, and an exchange argument shows some global optimum is
+//! order-preserving over per-shard optima. Any cut edge demotes the claim to
+//! `Feasible`.
+
+pub mod graph;
+pub mod recombine;
+pub mod shard;
+
+pub use graph::{CouplingEdge, CouplingGraph, Partition};
+pub use recombine::ShardSchedule;
+pub use shard::{project, ShardInstance};
+
+use crate::anytime::Trajectory;
+use crate::budget::SearchBudget;
+use crate::portfolio::{PortfolioConfig, PortfolioSolver};
+use crate::properties::{analyze, AnalysisOptions};
+use crate::result::{CoopStats, SolveOutcome, SolveResult};
+use crate::solver::{CooperationPolicy, SolveContext};
+use idd_core::{benefit_steps, Deployment, IndexId, ObjectiveEvaluator, ProblemInstance};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Configuration for [`ShardedSolver`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Budget given to *each* shard's portfolio race (shards are far smaller
+    /// than the whole instance, so this is typically the monolithic budget
+    /// unchanged — the saving comes from search-space size, not budget
+    /// splitting).
+    pub shard_budget: SearchBudget,
+    /// Soft coupling edges with accumulated weight below this are cut.
+    /// `0.0` (the default) cuts nothing: shards are exactly independent and
+    /// recombination is lossless.
+    pub cut_threshold: f64,
+    /// Property-analysis configuration used to build the coupling graph.
+    pub analysis: AnalysisOptions,
+    /// Passed through to each shard's [`PortfolioConfig`].
+    pub cancel_on_optimal: bool,
+    /// Passed through to each shard's [`PortfolioConfig`].
+    pub cooperation: CooperationPolicy,
+    /// How many shard races run concurrently. Each race itself spawns the
+    /// portfolio's member threads, so the default (`0`) picks
+    /// `max(1, available_parallelism / members)` to avoid oversubscription.
+    pub max_parallel_shards: usize,
+}
+
+impl ShardedConfig {
+    /// Default configuration with the given per-shard budget.
+    pub fn with_budget(shard_budget: SearchBudget) -> Self {
+        Self {
+            shard_budget,
+            cut_threshold: 0.0,
+            analysis: AnalysisOptions::all(),
+            cancel_on_optimal: true,
+            cooperation: CooperationPolicy::Off,
+            max_parallel_shards: 0,
+        }
+    }
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self::with_budget(SearchBudget::default())
+    }
+}
+
+/// One shard's members and solve result (shard-local ids in
+/// `result.deployment`; [`ShardInstance::to_parent_order`] maps them back).
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Parent-instance ids of the shard's indexes.
+    pub members: Vec<IndexId>,
+    /// The shard portfolio's combined result.
+    pub result: SolveResult,
+}
+
+/// The full outcome of a sharded solve.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// The recombined result. `objective` is always re-evaluated against the
+    /// full instance, bit-for-bit identical to
+    /// [`ObjectiveEvaluator::evaluate`] on `deployment`.
+    pub result: SolveResult,
+    /// Per-shard reports (empty when the solve fell back to monolithic).
+    pub shards: Vec<ShardReport>,
+    /// Number of soft coupling edges the threshold cut.
+    pub cut_edges: usize,
+    /// Total weight of the cut edges.
+    pub cut_weight: f64,
+    /// `true` when no coupling was severed (recombination is lossless).
+    pub exact: bool,
+    /// `true` when the property analysis reached a genuine fixed point.
+    pub analysis_converged: bool,
+    /// `true` when the decomposer did not shard (clipped analysis, or the
+    /// coupling graph is one component) and ran the plain portfolio instead.
+    pub monolithic_fallback: bool,
+}
+
+impl ShardedOutcome {
+    /// Number of shards the instance was split into (`1` for a monolithic
+    /// fallback).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len().max(1)
+    }
+}
+
+/// Shard-and-recombine wrapper around the standard portfolio.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedSolver {
+    config: ShardedConfig,
+}
+
+impl ShardedSolver {
+    /// Creates a sharded solver with the given configuration.
+    pub fn new(config: ShardedConfig) -> Self {
+        Self { config }
+    }
+
+    /// Convenience: default configuration with the given per-shard budget.
+    pub fn recommended(shard_budget: SearchBudget) -> Self {
+        Self::new(ShardedConfig::with_budget(shard_budget))
+    }
+
+    fn portfolio(&self) -> PortfolioSolver {
+        PortfolioSolver::recommended(self.config.shard_budget).with_config(PortfolioConfig {
+            budget: self.config.shard_budget,
+            cancel_on_optimal: self.config.cancel_on_optimal,
+            cooperation: self.config.cooperation,
+        })
+    }
+
+    fn workers(&self, num_shards: usize) -> usize {
+        let configured = if self.config.max_parallel_shards > 0 {
+            self.config.max_parallel_shards
+        } else {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            // The recommended portfolio races 4 member threads per shard.
+            (cores / 4).max(1)
+        };
+        configured.min(num_shards).max(1)
+    }
+
+    fn monolithic(
+        &self,
+        instance: &ProblemInstance,
+        started: Instant,
+        analysis_converged: bool,
+        exact: bool,
+    ) -> ShardedOutcome {
+        let outcome = self
+            .portfolio()
+            .solve_detailed_in(instance, &SolveContext::new());
+        let mut result = outcome.combined;
+        result.solver = "sharded(monolithic-fallback)".to_string();
+        result.elapsed_seconds = started.elapsed().as_secs_f64();
+        ShardedOutcome {
+            result,
+            shards: Vec::new(),
+            cut_edges: 0,
+            cut_weight: 0.0,
+            exact,
+            analysis_converged,
+            monolithic_fallback: true,
+        }
+    }
+
+    /// Solves `instance` by sharding along the coupling graph.
+    pub fn solve(&self, instance: &ProblemInstance) -> ShardedOutcome {
+        let started = Instant::now();
+
+        let analysis = analyze(instance, self.config.analysis);
+        if !analysis.converged {
+            // A clipped closure may miss alliance groups, and alliances pin
+            // shard membership — sharding on it could split an alliance.
+            return self.monolithic(instance, started, false, false);
+        }
+
+        let graph = CouplingGraph::build(instance, &analysis);
+        let partition = graph.partition(self.config.cut_threshold);
+        if partition.shards.len() <= 1 {
+            return self.monolithic(instance, started, true, partition.is_exact());
+        }
+
+        let shard_instances: Vec<ShardInstance> = partition
+            .shards
+            .iter()
+            .map(|members| shard::project(instance, members))
+            .collect();
+
+        // Worker pool: each worker pulls the next unsolved shard and races
+        // the full portfolio on it with a private SolveContext (no shared
+        // cancellation or incumbent across shards — they are different
+        // instances).
+        let results: Mutex<Vec<Option<SolveResult>>> =
+            Mutex::new(vec![None; shard_instances.len()]);
+        let next = AtomicUsize::new(0);
+        let workers = self.workers(shard_instances.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= shard_instances.len() {
+                        break;
+                    }
+                    let outcome = self
+                        .portfolio()
+                        .solve_detailed_in(&shard_instances[k].instance, &SolveContext::new());
+                    results.lock().unwrap()[k] = Some(outcome.combined);
+                });
+            }
+        });
+        let shard_results: Vec<SolveResult> = results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("worker pool visits every shard"))
+            .collect();
+
+        // Read each shard's schedule back as a benefit curve with parent
+        // ids, then merge by block density.
+        let mut schedules = Vec::with_capacity(shard_results.len());
+        for (shard, result) in shard_instances.iter().zip(&shard_results) {
+            let Some(deployment) = result.deployment.as_ref() else {
+                // The portfolio always contains greedy, so this is
+                // unreachable in practice; degrade gracefully regardless.
+                return self.monolithic(instance, started, true, partition.is_exact());
+            };
+            let value = ObjectiveEvaluator::new(&shard.instance).evaluate(deployment);
+            let steps = benefit_steps(&value)
+                .into_iter()
+                .map(|mut s| {
+                    s.index = shard.members[s.index.raw()];
+                    s
+                })
+                .collect();
+            schedules.push(ShardSchedule { steps });
+        }
+        let order = recombine::merge(&schedules);
+        let deployment = Deployment::new(order);
+        debug_assert!(deployment.is_valid_for(instance));
+
+        // The one objective we report: the spliced order evaluated against
+        // the full instance.
+        let objective = ObjectiveEvaluator::new(instance).evaluate(&deployment).area;
+
+        let all_optimal = shard_results
+            .iter()
+            .all(|r| r.outcome == SolveOutcome::Optimal);
+        let outcome = if partition.is_exact() && all_optimal {
+            SolveOutcome::Optimal
+        } else {
+            SolveOutcome::Feasible
+        };
+
+        let elapsed_seconds = started.elapsed().as_secs_f64();
+        let mut trajectory = Trajectory::new();
+        trajectory.record(elapsed_seconds, objective);
+        let result = SolveResult {
+            solver: format!("sharded(x{})", shard_results.len()),
+            deployment: Some(deployment),
+            objective,
+            outcome,
+            elapsed_seconds,
+            nodes: shard_results.iter().map(|r| r.nodes).sum(),
+            trajectory,
+            coop: shard_results
+                .iter()
+                .fold(CoopStats::default(), |acc, r| acc.merged(r.coop)),
+        };
+
+        ShardedOutcome {
+            result,
+            shards: partition
+                .shards
+                .iter()
+                .cloned()
+                .zip(shard_results)
+                .map(|(members, result)| ShardReport { members, result })
+                .collect(),
+            cut_edges: partition.cut_edges.len(),
+            cut_weight: partition.cut_weight,
+            exact: partition.is_exact(),
+            analysis_converged: true,
+            monolithic_fallback: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three independent blocks with small integer-valued costs and
+    /// speed-ups: every area is an exact small-integer f64 sum, so sharded
+    /// and monolithic optima can be compared with `==`.
+    fn three_blocks() -> ProblemInstance {
+        let mut b = ProblemInstance::builder("three-blocks");
+        let i0 = b.add_index(2.0);
+        let i1 = b.add_index(3.0);
+        let i2 = b.add_index(1.0);
+        let i3 = b.add_index(4.0);
+        let i4 = b.add_index(2.0);
+        let q0 = b.add_query(40.0);
+        b.add_plan(q0, vec![i0], 8.0);
+        b.add_plan(q0, vec![i0, i1], 20.0);
+        let q1 = b.add_query(30.0);
+        b.add_plan(q1, vec![i2], 6.0);
+        b.add_plan(q1, vec![i3], 9.0);
+        let q2 = b.add_query(25.0);
+        b.add_plan(q2, vec![i4], 10.0);
+        b.build().unwrap()
+    }
+
+    fn budgeted() -> ShardedConfig {
+        let mut config = ShardedConfig::with_budget(SearchBudget::nodes(200_000));
+        config.cancel_on_optimal = false;
+        config.max_parallel_shards = 1;
+        config
+    }
+
+    #[test]
+    fn zero_coupling_sharded_matches_monolithic_exactly() {
+        let inst = three_blocks();
+        let sharded = ShardedSolver::new(budgeted()).solve(&inst);
+        assert!(!sharded.monolithic_fallback);
+        assert!(sharded.exact);
+        assert_eq!(sharded.shards.len(), 3);
+        assert_eq!(sharded.result.outcome, SolveOutcome::Optimal);
+
+        let mono = PortfolioSolver::recommended(SearchBudget::nodes(200_000))
+            .solve_detailed_in(&inst, &SolveContext::new())
+            .combined;
+        assert_eq!(mono.outcome, SolveOutcome::Optimal);
+        assert_eq!(
+            sharded.result.objective, mono.objective,
+            "lossless decomposition must reproduce the monolithic optimum"
+        );
+
+        // And the reported number is exactly the evaluator's.
+        let deployment = sharded.result.deployment.as_ref().unwrap();
+        assert!(deployment.is_valid_for(&inst));
+        assert_eq!(
+            sharded.result.objective,
+            ObjectiveEvaluator::new(&inst).evaluate(deployment).area
+        );
+    }
+
+    #[test]
+    fn clipped_analysis_refuses_to_shard() {
+        let inst = three_blocks();
+        let mut config = budgeted();
+        config.analysis.max_rounds = 0;
+        let outcome = ShardedSolver::new(config).solve(&inst);
+        assert!(outcome.monolithic_fallback);
+        assert!(!outcome.analysis_converged);
+        assert!(outcome.shards.is_empty());
+        let deployment = outcome.result.deployment.as_ref().unwrap();
+        assert!(deployment.is_valid_for(&inst));
+    }
+
+    #[test]
+    fn cut_partition_is_reverified_and_never_claims_optimal() {
+        let inst = three_blocks();
+        let mut config = budgeted();
+        // Higher than every accumulated soft weight: cut everything soft.
+        config.cut_threshold = 1_000.0;
+        let outcome = ShardedSolver::new(config).solve(&inst);
+        assert!(!outcome.monolithic_fallback);
+        assert!(!outcome.exact);
+        assert!(outcome.cut_edges > 0);
+        assert_eq!(outcome.shards.len(), 5);
+        assert_eq!(outcome.result.outcome, SolveOutcome::Feasible);
+        let deployment = outcome.result.deployment.as_ref().unwrap();
+        assert_eq!(
+            outcome.result.objective,
+            ObjectiveEvaluator::new(&inst).evaluate(deployment).area,
+            "the reported objective must be the full-instance evaluation"
+        );
+    }
+
+    #[test]
+    fn single_component_falls_back_to_monolithic() {
+        let mut b = ProblemInstance::builder("one-block");
+        let i0 = b.add_index(2.0);
+        let i1 = b.add_index(3.0);
+        let q0 = b.add_query(40.0);
+        b.add_plan(q0, vec![i0, i1], 20.0);
+        let inst = b.build().unwrap();
+        let outcome = ShardedSolver::new(budgeted()).solve(&inst);
+        assert!(outcome.monolithic_fallback);
+        assert!(outcome.analysis_converged);
+        assert_eq!(outcome.num_shards(), 1);
+    }
+}

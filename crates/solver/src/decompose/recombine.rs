@@ -1,0 +1,141 @@
+//! Recombining per-shard schedules into one deployment.
+//!
+//! Minimizing the area under the improvement curve is, for a fixed total
+//! deployment time, the same as minimizing `Σ_j benefit_j · completion_j`
+//! (expand `area = R_∅·T − Σ_j b_j·(T − completion_j)`; `R_∅·T` and the
+//! completion-independent parts are constants). For *fixed* per-shard
+//! sequences over independent shards this is the classical problem of
+//! merging chains under Smith's rule: decompose each sequence into its
+//! maximal-density prefix blocks ([`idd_core::density_blocks`]) and emit
+//! blocks in non-increasing density order. That interleaving is optimal
+//! over all order-preserving merges, and the block decomposition is what
+//! makes it safe — a shard's cheap dense tail is pulled forward *together
+//! with* the expensive prefix it depends on, never alone.
+//!
+//! Ties between blocks of equal density are broken by `(shard, block)`
+//! position, so the merge is deterministic and machine-independent.
+
+use idd_core::{BenefitStep, IndexId, ScheduleBlock};
+use std::cmp::Ordering;
+
+/// One shard's schedule in benefit-curve form, with steps carrying *parent*
+/// index ids.
+#[derive(Debug, Clone)]
+pub struct ShardSchedule {
+    /// Steps in shard-order, ids already mapped to the parent instance.
+    pub steps: Vec<BenefitStep>,
+}
+
+/// Merges the shard schedules into one parent-id deployment order.
+pub fn merge(schedules: &[ShardSchedule]) -> Vec<IndexId> {
+    // (shard, block) pairs, then a single density sort with positional
+    // tie-breaks. Within one shard the block densities strictly decrease
+    // (that is what the prefix decomposition guarantees), so any
+    // density-consistent total order automatically preserves each shard's
+    // internal block order — and therefore its step order and precedences.
+    let mut blocks: Vec<(usize, ScheduleBlock)> = Vec::new();
+    for (shard, schedule) in schedules.iter().enumerate() {
+        for block in idd_core::density_blocks(&schedule.steps) {
+            blocks.push((shard, block));
+        }
+    }
+    blocks.sort_by(|(shard_a, a), (shard_b, b)| match b.density_cmp(a) {
+        Ordering::Equal => (shard_a, a.start).cmp(&(shard_b, b.start)),
+        ordering => ordering,
+    });
+
+    let mut order = Vec::with_capacity(schedules.iter().map(|s| s.steps.len()).sum());
+    for (shard, block) in blocks {
+        for step in &schedules[shard].steps[block.start..block.start + block.len] {
+            order.push(step.index);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(raw: usize, cost: f64, benefit: f64) -> BenefitStep {
+        BenefitStep {
+            index: IndexId::new(raw),
+            cost,
+            benefit,
+        }
+    }
+
+    #[test]
+    fn single_steps_merge_by_density() {
+        let merged = merge(&[
+            ShardSchedule {
+                steps: vec![step(0, 1.0, 5.0), step(1, 1.0, 1.0)],
+            },
+            ShardSchedule {
+                steps: vec![step(2, 1.0, 3.0)],
+            },
+        ]);
+        assert_eq!(
+            merged,
+            vec![IndexId::new(0), IndexId::new(2), IndexId::new(1)]
+        );
+    }
+
+    #[test]
+    fn dense_tail_travels_with_its_prefix() {
+        // Shard A: cheap dense step (density 8) behind an expensive sparse
+        // one (density 0.5) — as a fused block their density is 12/9 ≈ 1.33.
+        // Shard B: a single density-1 step. Naively sorting *steps* would
+        // rip A's tail to the front; the block merge keeps A's pair together
+        // and schedules the whole block before B.
+        let merged = merge(&[
+            ShardSchedule {
+                steps: vec![step(0, 8.0, 4.0), step(1, 1.0, 8.0)],
+            },
+            ShardSchedule {
+                steps: vec![step(2, 4.0, 4.0)],
+            },
+        ]);
+        assert_eq!(
+            merged,
+            vec![IndexId::new(0), IndexId::new(1), IndexId::new(2)]
+        );
+    }
+
+    #[test]
+    fn equal_density_ties_break_by_shard_then_position() {
+        let merged = merge(&[
+            ShardSchedule {
+                steps: vec![step(3, 2.0, 4.0)],
+            },
+            ShardSchedule {
+                steps: vec![step(7, 1.0, 2.0)],
+            },
+        ]);
+        assert_eq!(merged, vec![IndexId::new(3), IndexId::new(7)]);
+    }
+
+    #[test]
+    fn merge_preserves_each_shards_internal_order() {
+        let schedules = vec![
+            ShardSchedule {
+                steps: vec![step(0, 3.0, 1.0), step(1, 1.0, 6.0), step(2, 2.0, 1.0)],
+            },
+            ShardSchedule {
+                steps: vec![step(3, 1.0, 4.0), step(4, 2.0, 1.0)],
+            },
+        ];
+        let merged = merge(&schedules);
+        for schedule in &schedules {
+            let positions: Vec<usize> = schedule
+                .steps
+                .iter()
+                .map(|s| merged.iter().position(|&i| i == s.index).unwrap())
+                .collect();
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "shard order violated: {positions:?}"
+            );
+        }
+    }
+}

@@ -26,6 +26,14 @@
 //!   (lock-free best objective + epoch-counted best deployment),
 //!   [`CancelToken`], the [`NeighborhoodHints`] work-stealing deque and the
 //!   [`CooperationPolicy`] gating who may read what.
+//! * [`decompose`] — shard-and-recombine solving: the Section-5 analysis
+//!   doubles as a *decomposer*. A coupling graph (plan co-occurrence, query
+//!   competition, build interactions; hard precedence/alliance edges)
+//!   partitions the instance into independent — or, above a cut threshold,
+//!   weakly-coupled — shards; each shard races the portfolio in parallel
+//!   and the per-shard schedules are recombined by a Smith's-rule block
+//!   merge over their benefit curves, then re-verified bit-for-bit against
+//!   the full-instance evaluator.
 //! * [`portfolio`] — a concurrent anytime portfolio: member solvers race one
 //!   wall-clock deadline on `std::thread`s, publish incumbents (objective
 //!   *and* order) to the shared best, cancel the race once a proof lands,
@@ -44,6 +52,7 @@
 pub mod anytime;
 pub mod budget;
 pub mod constraints;
+pub mod decompose;
 pub mod dp;
 pub mod exact;
 pub mod greedy;
@@ -61,6 +70,9 @@ pub mod prelude;
 pub use anytime::{Trajectory, TrajectoryPoint};
 pub use budget::SearchBudget;
 pub use constraints::OrderConstraints;
+pub use decompose::{
+    CouplingGraph, Partition, ShardInstance, ShardedConfig, ShardedOutcome, ShardedSolver,
+};
 pub use dp::DpSolver;
 pub use greedy::GreedySolver;
 pub use portfolio::{PortfolioConfig, PortfolioOutcome, PortfolioSolver};

@@ -4,7 +4,9 @@
 //! only appears in single-index plans, no other index speeds up the same
 //! queries, and it takes part in no build interaction. For two disjoint
 //! indexes the optimal relative order is fully determined by *density*
-//! (benefit divided by build cost): the denser one comes first.
+//! (benefit per unit of build cost): the denser one comes first. Densities
+//! are compared by cross-multiplication, never by division, so zero-cost
+//! builds stay well-defined (see [`detect`]).
 //!
 //! The backward-/forward-disjoint generalization of the paper (which uses the
 //! already-derived constraints to treat almost-disjoint indexes as disjoint
@@ -75,33 +77,43 @@ fn benefit(instance: &ProblemInstance, index: IndexId) -> f64 {
 
 /// Detects density orderings among disjoint indexes, returned as
 /// `(denser, sparser)` pairs — the denser index precedes the sparser one.
+///
+/// Densities are never materialized as quotients. For two disjoint indexes
+/// the exchange argument says `a` before `b` is at least as good exactly
+/// when `benefit(a)·cost(b) ≥ benefit(b)·cost(a)`, so the comparison is done
+/// on those cross-products directly. This keeps zero-cost builds
+/// well-defined without a clamp (a zero-cost index with positive benefit
+/// compares denser than every positive-cost index, and a zero-cost
+/// zero-benefit index ties with everything instead of producing `0/0`),
+/// never produces `inf`/`NaN`, and makes ties *exact* rather than
+/// epsilon-banded. Exact ties are broken by canonical id order, so the
+/// emitted relation is a deterministic total order over the disjoint set.
 pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
     let n = instance.num_indexes();
-    let disjoint: Vec<IndexId> = (0..n)
+    let disjoint: Vec<(IndexId, f64, f64)> = (0..n)
         .map(IndexId::new)
         .filter(|&i| is_disjoint(instance, i))
-        .collect();
-
-    let density: Vec<(IndexId, f64)> = disjoint
-        .iter()
-        .map(|&i| {
-            let cost = instance.creation_cost(i).max(1e-12);
-            (i, benefit(instance, i) / cost)
-        })
+        .map(|i| (i, benefit(instance, i), instance.creation_cost(i)))
         .collect();
 
     let mut out = Vec::new();
-    for (ai, &(a, da)) in density.iter().enumerate() {
-        for &(b, db) in density.iter().skip(ai + 1) {
-            if da > db + 1e-12 {
+    for (ai, &(a, benefit_a, cost_a)) in disjoint.iter().enumerate() {
+        for &(b, benefit_b, cost_b) in disjoint.iter().skip(ai + 1) {
+            // Area saved by putting `a` first vs `b` first; swapping two
+            // adjacent disjoint indexes changes the objective by exactly
+            // the difference of these two products.
+            let a_first = benefit_a * cost_b;
+            let b_first = benefit_b * cost_a;
+            if a_first > b_first {
                 out.push((a, b));
-            } else if db > da + 1e-12 {
+            } else if b_first > a_first {
                 out.push((b, a));
             } else {
-                // Equal densities: swapping two disjoint equal-density
-                // indexes never changes the objective, so fixing the
-                // id order keeps an optimal solution while removing the
-                // symmetric permutations from the search space.
+                // Exact tie (equal densities, or a degenerate pair where
+                // both products vanish): swapping two such disjoint indexes
+                // never changes the objective, so fixing the id order keeps
+                // an optimal solution while removing the symmetric
+                // permutations from the search space.
                 out.push((a.min(b), a.max(b)));
             }
         }
@@ -219,6 +231,64 @@ mod tests {
     }
 
     #[test]
+    fn zero_cost_index_with_benefit_comes_first() {
+        // A zero-cost build has infinite density: it delays nothing and
+        // realizes its benefit immediately, so it precedes every
+        // positive-cost disjoint index. The old quotient formulation clamped
+        // the cost to 1e-12 and produced a huge-but-finite density that
+        // could still be mis-ranked; the cross-product comparison handles
+        // the case exactly (benefit·cost(other) > benefit(other)·0).
+        let mut b = ProblemInstance::builder("zerocost");
+        let dense = b.add_index(1.0); // density 10
+        let free = b.add_index(0.0); // density ∞
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![dense], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![free], 1.0);
+        let inst = b.build().unwrap();
+        assert_eq!(detect(&inst), vec![(free, dense)]);
+    }
+
+    #[test]
+    fn zero_cost_zero_benefit_ties_are_canonical_and_nan_free() {
+        // 0/0 density: the quotient is NaN, under which `partial_cmp`-style
+        // orderings silently drop constraints. The cross-product comparison
+        // makes the pair an exact tie (both products are 0·0 = 0), broken by
+        // id order — and a free useless index also ties with a useful one
+        // (0·cost vs benefit·0), which is sound: a zero-cost build delays
+        // nothing, so either relative order is optimal.
+        let mut b = ProblemInstance::builder("zerozero");
+        let dead_a = b.add_index(0.0);
+        let dead_b = b.add_index(0.0);
+        let useful = b.add_index(2.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![useful], 10.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        // A total order over all three, fixed by id on the exact ties.
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(dead_a, dead_b)));
+        assert!(pairs.contains(&(dead_a, useful)));
+        assert!(pairs.contains(&(dead_b, useful)));
+    }
+
+    #[test]
+    fn equal_density_different_scale_is_an_exact_tie() {
+        // (benefit 10, cost 2) and (benefit 5, cost 1) have exactly equal
+        // densities; the cross-products (10·1 and 5·2) are exactly equal in
+        // floating point, so the tie-break must fire — no epsilon band.
+        let mut b = ProblemInstance::builder("samedensity");
+        let a = b.add_index(2.0);
+        let c = b.add_index(1.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![a], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![c], 5.0);
+        let inst = b.build().unwrap();
+        assert_eq!(detect(&inst), vec![(a, c)]);
+    }
+
+    #[test]
     fn three_disjoint_indexes_get_a_total_order() {
         let mut b = ProblemInstance::builder("three");
         let ids: Vec<IndexId> = [1.0, 2.0, 4.0].iter().map(|&c| b.add_index(c)).collect();
@@ -232,5 +302,52 @@ mod tests {
         assert!(pairs.contains(&(ids[0], ids[1])));
         assert!(pairs.contains(&(ids[0], ids[2])));
         assert!(pairs.contains(&(ids[1], ids[2])));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// NaN-freedom and totality: for any mix of benefits and costs
+            /// — zeros included, so the quotient formulation would hit
+            /// `x/0 = inf` and `0/0 = NaN` — the detector emits a complete,
+            /// antisymmetric, correctly-oriented order over the disjoint
+            /// set.
+            #[test]
+            fn detect_is_total_antisymmetric_and_never_misordered(
+                pairs in collection::vec((0u32..=8, 0u32..=8), 2..6)
+            ) {
+                let mut b = ProblemInstance::builder("prop");
+                let mut expected = Vec::new();
+                for &(benefit, cost) in &pairs {
+                    let i = b.add_index(cost as f64);
+                    let q = b.add_query(20.0);
+                    if benefit > 0 {
+                        b.add_plan(q, vec![i], benefit as f64);
+                    }
+                    expected.push((i, benefit as f64, cost as f64));
+                }
+                let inst = b.build().unwrap();
+                let out = detect(&inst);
+                let k = expected.len();
+                // Every index is disjoint here, so the order must be total.
+                prop_assert_eq!(out.len(), k * (k - 1) / 2);
+                for &(first, second) in &out {
+                    prop_assert!(!out.contains(&(second, first)), "antisymmetry");
+                    let (_, bf, cf) = expected[first.raw()];
+                    let (_, bs, cs) = expected[second.raw()];
+                    // `first` may precede `second` only when putting it
+                    // first saves at least as much area (ties allowed, then
+                    // id order must have been used).
+                    prop_assert!(bf * cs >= bs * cf, "misordered pair");
+                    if bf * cs == bs * cf {
+                        prop_assert!(first < second, "tie not broken by id");
+                    }
+                }
+            }
+        }
     }
 }

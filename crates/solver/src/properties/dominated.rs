@@ -13,20 +13,49 @@
 //! benefit with `k`'s worst-case benefit, their build costs, and their
 //! helpfulness to others.
 
-use idd_core::{IndexId, ProblemInstance};
+use idd_core::{IndexId, PlanId, ProblemInstance};
+
+/// Best speed-up among the plans the iterator yields, or `None` when no plan
+/// qualifies.
+///
+/// Callers map `None` to an explicit `0.0`: on this crate's domain the two
+/// coincide (the builder rejects negative speed-ups, so "no qualifying plan"
+/// and "guaranteed zero benefit" are the same thing), but keeping the
+/// empty set visible means the baseline can never silently absorb a
+/// negative-speed-up plan if the domain ever widens — the `debug_assert`
+/// below is the tripwire for that.
+fn best_speedup(instance: &ProblemInstance, plans: impl Iterator<Item = PlanId>) -> Option<f64> {
+    plans
+        .map(|p| {
+            let s = instance.plan_speedup(p);
+            debug_assert!(
+                s >= 0.0,
+                "plan speed-ups are non-negative by construction; the 0.0 \
+                 empty-set baseline below is only sound under that invariant"
+            );
+            s
+        })
+        .reduce(f64::max)
+}
 
 /// Best-case total benefit of an index: for each query, the speed-up of the
 /// best plan containing the index (an upper bound on its marginal benefit).
+/// A query with no qualifying plan contributes exactly 0 — correct as an
+/// upper bound only because speed-ups are non-negative (see
+/// [`best_speedup`]).
 fn max_benefit(instance: &ProblemInstance, index: IndexId) -> f64 {
     instance
         .query_ids()
         .map(|q| {
-            instance
-                .plans_of_query(q)
-                .iter()
-                .filter(|&&p| instance.plan(p).uses(index))
-                .map(|&p| instance.plan_speedup(p))
-                .fold(0.0_f64, f64::max)
+            best_speedup(
+                instance,
+                instance
+                    .plans_of_query(q)
+                    .iter()
+                    .copied()
+                    .filter(|&p| instance.plan(p).uses(index)),
+            )
+            .unwrap_or(0.0)
         })
         .sum()
 }
@@ -45,21 +74,27 @@ fn min_benefit(instance: &ProblemInstance, index: IndexId) -> f64 {
     instance
         .query_ids()
         .map(|q| {
-            let with_singleton = instance
-                .plans_of_query(q)
-                .iter()
-                .filter(|&&p| {
+            // No qualifying singleton plan → the index guarantees nothing
+            // for this query; no index-free plan → nothing competes. Both
+            // empty sets are an explicit 0.0, sound because speed-ups are
+            // non-negative (see [`best_speedup`]).
+            let with_singleton = best_speedup(
+                instance,
+                instance.plans_of_query(q).iter().copied().filter(|&p| {
                     let plan = instance.plan(p);
                     plan.width() == 1 && plan.uses(index)
-                })
-                .map(|&p| instance.plan_speedup(p))
-                .fold(0.0_f64, f64::max);
-            let without = instance
-                .plans_of_query(q)
-                .iter()
-                .filter(|&&p| !instance.plan(p).uses(index))
-                .map(|&p| instance.plan_speedup(p))
-                .fold(0.0_f64, f64::max);
+                }),
+            )
+            .unwrap_or(0.0);
+            let without = best_speedup(
+                instance,
+                instance
+                    .plans_of_query(q)
+                    .iter()
+                    .copied()
+                    .filter(|&p| !instance.plan(p).uses(index)),
+            )
+            .unwrap_or(0.0);
             (with_singleton - without).max(0.0)
         })
         .sum()
@@ -75,6 +110,19 @@ fn singleton_only(instance: &ProblemInstance, index: IndexId) -> bool {
 
 /// Detects dominated pairs, returned as `(dominator, dominated)` — the first
 /// element may always be deployed before the second.
+///
+/// The soundness proof is a position *swap*: in any order placing `i` before
+/// `k`, exchanging the two leaves every intermediate index in place and can
+/// only lower the objective. Two consequences shape the checks below:
+///
+/// * every comparison is **exact** — an epsilon slack on conditions (1)–(3)
+///   would *admit* pairs where `i` is strictly better than `k`'s guarantee
+///   (by up to the slack), which is an unsound constraint, not a numerical
+///   nicety; near-ties must fail the conditions, not squeak through;
+/// * an index pinned by a **hard precedence** cannot be swapped freely (the
+///   exchange could move it across its predecessor or successor), so any
+///   precedence participation voids the proof and the pair is skipped —
+///   the same rule the disjoint detector applies.
 pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
     let n = instance.num_indexes();
     let max_b: Vec<f64> = (0..n)
@@ -83,6 +131,12 @@ pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
     let min_b: Vec<f64> = (0..n)
         .map(|i| min_benefit(instance, IndexId::new(i)))
         .collect();
+    let in_precedence = |x: IndexId| {
+        instance
+            .precedences()
+            .iter()
+            .any(|p| p.before == x || p.after == x)
+    };
 
     let mut out = Vec::new();
     for i_raw in 0..n {
@@ -90,37 +144,48 @@ pub fn detect(instance: &ProblemInstance) -> Vec<(IndexId, IndexId)> {
         if !singleton_only(instance, i) {
             continue;
         }
+        // (4) the swap argument needs both indexes freely movable.
+        if in_precedence(i) {
+            continue;
+        }
         for k_raw in 0..n {
             if i_raw == k_raw {
                 continue;
             }
             let k = IndexId::new(k_raw);
+            // (4) see above.
+            if in_precedence(k) {
+                continue;
+            }
             // (5) k's build cost must not depend on placement.
             if !instance.helpers_of(k).is_empty() {
                 continue;
             }
             // (1) k's worst case beats i's best case.
-            if max_b[i_raw] > min_b[k_raw] + 1e-12 {
+            if max_b[i_raw] > min_b[k_raw] {
                 continue;
             }
             // (2) k is never more expensive to build than i can ever be.
-            if instance.min_build_cost(i) + 1e-12 < instance.creation_cost(k) {
+            if instance.min_build_cost(i) < instance.creation_cost(k) {
                 continue;
             }
             // (3) i never helps another index's build more than k does.
             let i_helps_more = instance
                 .helps(i)
                 .iter()
-                .any(|&(target, saving)| saving > instance.build_speedup(target, k) + 1e-12);
+                .any(|&(target, saving)| saving > instance.build_speedup(target, k));
             if i_helps_more {
                 continue;
             }
             // Tie-break to avoid emitting both directions when the two
-            // indexes are completely symmetric.
-            if max_b[k_raw] <= min_b[i_raw] + 1e-12
-                && (instance.creation_cost(i) - instance.creation_cost(k)).abs() < 1e-12
-                && k_raw > i_raw
-            {
+            // indexes are completely symmetric. With the exact comparisons
+            // above, both directions can pass (1)+(2) only when the
+            // benefits and the build costs are *exactly* equal, so the
+            // exact-equality test here is complete.
+            #[allow(clippy::float_cmp)]
+            let symmetric = max_b[k_raw] <= min_b[i_raw]
+                && instance.creation_cost(i) == instance.creation_cost(k);
+            if symmetric && k_raw > i_raw {
                 continue;
             }
             out.push((k, i));
@@ -215,6 +280,67 @@ mod tests {
         let inst = b.build().unwrap();
         let pairs = detect(&inst);
         assert!(!pairs.iter().any(|&(dominator, _)| dominator == strong));
+    }
+
+    #[test]
+    fn near_tie_resolves_toward_the_strictly_better_index() {
+        // `better` beats `worse`'s guarantee by 2^-40 — far inside the old
+        // 1e-12 slack, which emitted the unsound `(worse, better)` pair
+        // ("worse dominates better") because condition (1) was loosened.
+        // With exact comparisons only the sound direction survives.
+        let eps = 2f64.powi(-40);
+        let mut b = ProblemInstance::builder("neartie");
+        let worse = b.add_index(4.0);
+        let better = b.add_index(4.0);
+        let qa = b.add_query(50.0);
+        b.add_plan(qa, vec![worse], 5.0);
+        let qb = b.add_query(50.0);
+        b.add_plan(qb, vec![better], 5.0 + eps);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert_eq!(pairs, vec![(better, worse)]);
+    }
+
+    #[test]
+    fn plan_less_index_is_dominated_but_never_dominates() {
+        // Empty-set baseline, both directions: an index with no qualifying
+        // plans has best-case benefit exactly 0 (not an artifact of the
+        // fold seed), so a genuinely beneficial, no-more-expensive index
+        // dominates it — and the plan-less index must never be reported as
+        // dominating the beneficial one.
+        let mut b = ProblemInstance::builder("planless");
+        let dead = b.add_index(6.0);
+        let useful = b.add_index(4.0);
+        let q = b.add_query(50.0);
+        b.add_plan(q, vec![useful], 5.0);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert!(pairs.contains(&(useful, dead)), "pairs: {pairs:?}");
+        assert!(!pairs.contains(&(dead, useful)), "pairs: {pairs:?}");
+    }
+
+    #[test]
+    fn precedence_pinned_dominator_is_skipped() {
+        // `gate ≺ strong` forces an expensive useless build before the
+        // would-be dominator. Emitting `strong ≺ weak` would then force
+        // `gate, strong, weak` — strictly worse than the true optimum
+        // `weak, gate, strong` — so the swap argument (and the detector)
+        // must not fire for precedence-pinned indexes.
+        let mut b = ProblemInstance::builder("pinned");
+        let gate = b.add_index(100.0);
+        let strong = b.add_index(4.0);
+        let weak = b.add_index(4.0);
+        let qa = b.add_query(50.0);
+        b.add_plan(qa, vec![strong], 5.0);
+        let qb = b.add_query(50.0);
+        b.add_plan(qb, vec![weak], 2.0);
+        b.add_precedence(gate, strong);
+        let inst = b.build().unwrap();
+        let pairs = detect(&inst);
+        assert!(
+            !pairs.iter().any(|&(dominator, _)| dominator == strong),
+            "pairs: {pairs:?}"
+        );
     }
 
     #[test]

@@ -123,6 +123,14 @@ pub struct AnalysisReport {
     pub rounds: usize,
     /// Total ordered pairs in the final closure.
     pub total_ordered_pairs: usize,
+    /// `true` when the last executed round added nothing — the constraints
+    /// are a genuine fixed point. `false` means the loop hit `max_rounds`
+    /// while still making progress, so the constraint set is *clipped*:
+    /// still sound (every pair individually holds) but not the full
+    /// closure. Callers that treat the analysis as complete — e.g. the
+    /// sharding decomposer, which derives its coupling graph from it —
+    /// must check this flag and fall back when it is `false`.
+    pub converged: bool,
 }
 
 /// Runs the enabled detectors to a fixed point.
@@ -137,8 +145,15 @@ pub fn analyze(instance: &ProblemInstance, options: AnalysisOptions) -> Analysis
         num_tail_fixed: 0,
         rounds: 0,
         total_ordered_pairs: 0,
+        converged: false,
     };
 
+    // `true` once a full round runs without adding a single ordered pair:
+    // the detectors are deterministic functions of the instance and the
+    // constraint set, so an unchanged round proves the fixed point. If the
+    // loop instead exhausts `max_rounds` while the last round was still
+    // adding pairs, the result is clipped and this stays `false`.
+    let mut last_round_was_stable = false;
     for round in 0..options.max_rounds.max(1) {
         let before = constraints.num_ordered_pairs();
         report.rounds = round + 1;
@@ -181,16 +196,18 @@ pub fn analyze(instance: &ProblemInstance, options: AnalysisOptions) -> Analysis
             report.num_tail_fixed += fixed;
         }
 
-        if constraints.num_ordered_pairs() == before && round > 0 {
+        last_round_was_stable = constraints.num_ordered_pairs() == before;
+        if last_round_was_stable && round > 0 {
             break;
         }
-        if constraints.num_ordered_pairs() == before && !options.tail {
+        if last_round_was_stable && !options.tail {
             // Nothing added in the very first round and no tail recursion to
             // feed further rounds: we are already at the fixed point.
             break;
         }
     }
 
+    report.converged = last_round_was_stable;
     report.total_ordered_pairs = constraints.num_ordered_pairs();
     report.constraints = constraints;
     report
@@ -222,10 +239,44 @@ mod tests {
         let report = analyze(&inst, AnalysisOptions::all());
         assert!(report.rounds >= 1);
         assert!(report.num_alliances >= 2, "report: {report:?}");
+        assert!(
+            report.converged,
+            "default budget must reach the fixed point"
+        );
         assert_eq!(
             report.total_ordered_pairs,
             report.constraints.num_ordered_pairs()
         );
+    }
+
+    #[test]
+    fn clipped_analysis_reports_not_converged() {
+        // Two disjoint indexes: round 0 adds their density pair, so with
+        // `max_rounds: 1` the loop ends while still making progress — the
+        // caller cannot know whether another round would have added more,
+        // and must be told so.
+        let mut b = ProblemInstance::builder("clip");
+        let i0 = b.add_index(2.0);
+        let i1 = b.add_index(5.0);
+        let q0 = b.add_query(50.0);
+        b.add_plan(q0, vec![i0], 10.0);
+        let q1 = b.add_query(50.0);
+        b.add_plan(q1, vec![i1], 10.0);
+        let inst = b.build().unwrap();
+
+        let clipped = analyze(
+            &inst,
+            AnalysisOptions {
+                max_rounds: 1,
+                ..AnalysisOptions::all()
+            },
+        );
+        assert!(!clipped.converged, "report: {clipped:?}");
+        assert_eq!(clipped.rounds, 1);
+
+        let full = analyze(&inst, AnalysisOptions::all());
+        assert!(full.converged);
+        assert_eq!(full.total_ordered_pairs, clipped.total_ordered_pairs);
     }
 
     #[test]

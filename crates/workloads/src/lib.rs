@@ -33,7 +33,9 @@ pub use calibration::{CalibrationReport, PaperTargets};
 pub use evolution::{
     drift_scenario, failure_scenario, mixed_scenario, revision_scenario, EvolutionConfig,
 };
-pub use synthetic::{SyntheticConfig, SyntheticGenerator};
+pub use synthetic::{
+    generate_block_structured, BlockStructuredConfig, SyntheticConfig, SyntheticGenerator,
+};
 
 use idd_core::ProblemInstance;
 use idd_whatif::{extract_instance, ExtractionConfig};

@@ -187,6 +187,140 @@ pub fn generate(config: SyntheticConfig) -> ProblemInstance {
     SyntheticGenerator::new(config).generate()
 }
 
+/// Parameters of the block-structured generator: `num_blocks` independent
+/// synthetic sub-instances fused into one, plus an optional layer of
+/// cross-block "coupling" queries.
+///
+/// With `coupling_queries == 0` the blocks share *nothing* — no plan, query,
+/// build interaction or precedence crosses a block boundary — so the
+/// instance's coupling graph decomposes into at least `num_blocks`
+/// components and shard-and-recombine solving is lossless. Each coupling
+/// query adds one weak cross-block edge, letting benchmarks dial in how much
+/// a cut-threshold decomposition must give up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStructuredConfig {
+    /// Number of independent blocks.
+    pub num_blocks: usize,
+    /// Shape of each block (its `seed` is re-derived per block from the
+    /// outer `seed`, its `num_indexes` is the block size).
+    pub block: SyntheticConfig,
+    /// Number of cross-block queries (0 ⇒ zero coupling).
+    pub coupling_queries: usize,
+    /// RNG seed (also re-seeds every block deterministically).
+    pub seed: u64,
+}
+
+impl BlockStructuredConfig {
+    /// `num_blocks` blocks of `block_size` indexes each, with sensible
+    /// per-block query/plan counts scaled to the block size.
+    pub fn blocks(
+        num_blocks: usize,
+        block_size: usize,
+        coupling_queries: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            num_blocks,
+            block: SyntheticConfig {
+                num_indexes: block_size,
+                num_queries: (block_size * 3 / 4).max(2),
+                plans_per_query: 5,
+                max_plan_width: 3.min(block_size.max(1)),
+                build_interaction_probability: 0.1,
+                num_tables: (block_size / 4).max(1),
+                precedence_probability: 0.0,
+                seed,
+            },
+            coupling_queries,
+            seed,
+        }
+    }
+
+    /// Total number of indexes across all blocks.
+    pub fn num_indexes(&self) -> usize {
+        self.num_blocks * self.block.num_indexes
+    }
+
+    /// The contiguous id range `[start, end)` occupied by `block`.
+    pub fn block_range(&self, block: usize) -> (usize, usize) {
+        let start = block * self.block.num_indexes;
+        (start, start + self.block.num_indexes)
+    }
+}
+
+/// Generates a block-structured instance (see [`BlockStructuredConfig`]).
+pub fn generate_block_structured(config: BlockStructuredConfig) -> ProblemInstance {
+    let mut b = InstanceBuilder::new(format!(
+        "blocks-{}x{}-c{}-{}",
+        config.num_blocks, config.block.num_indexes, config.coupling_queries, config.seed
+    ));
+
+    // Fuse the per-block instances under a contiguous id offset per block.
+    // Block k's indexes occupy ids [k*size, (k+1)*size).
+    for block in 0..config.num_blocks {
+        let mut block_cfg = config.block;
+        block_cfg.seed = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(block as u64);
+        let sub = SyntheticGenerator::new(block_cfg).generate();
+        let offset = config.block_range(block).0;
+        let remap = |i: IndexId| IndexId::new(i.raw() + offset);
+
+        for i in sub.index_ids() {
+            let mut meta = sub.index_meta(i).clone();
+            meta.name = format!("b{block}_{}", meta.name);
+            let id = b.push_index(meta);
+            debug_assert_eq!(id, remap(i));
+        }
+        for q in sub.query_ids() {
+            let mut meta = sub.query(q).clone();
+            meta.name = format!("b{block}_{}", meta.name);
+            let qid = b.push_query(meta);
+            for &p in sub.plans_of_query(q) {
+                let plan = sub.plan(p);
+                b.add_plan(
+                    qid,
+                    plan.indexes.iter().copied().map(remap).collect(),
+                    plan.speedup,
+                );
+            }
+        }
+        for bi in sub.build_interactions() {
+            b.add_build_interaction(remap(bi.target), remap(bi.helper), bi.speedup);
+        }
+        for pr in sub.precedences() {
+            b.add_precedence(remap(pr.before), remap(pr.after));
+        }
+    }
+
+    // Coupling layer: each coupling query offers a single-index plan from
+    // one block and a faster two-index plan spanning a second block, so the
+    // pair picks up both a plan-co-occurrence and a query-competition edge.
+    if config.coupling_queries > 0 && config.num_blocks >= 2 {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xB10C_C0DE);
+        for k in 0..config.coupling_queries {
+            let block_a = rng.gen_range(0..config.num_blocks);
+            let mut block_b = rng.gen_range(0..config.num_blocks - 1);
+            if block_b >= block_a {
+                block_b += 1;
+            }
+            let (a_lo, a_hi) = config.block_range(block_a);
+            let (b_lo, b_hi) = config.block_range(block_b);
+            let a = IndexId::new(rng.gen_range(a_lo..a_hi));
+            let bx = IndexId::new(rng.gen_range(b_lo..b_hi));
+            let runtime = rng.gen_range(20.0..60.0);
+            let qid = b.add_named_query(format!("coupling_q{k}"), runtime);
+            let solo = runtime * rng.gen_range(0.1..0.3);
+            b.add_plan(qid, vec![a], solo);
+            b.add_plan(qid, vec![a, bx], solo + runtime * rng.gen_range(0.1..0.3));
+        }
+    }
+
+    b.build()
+        .expect("block-structured generator produced an invalid instance")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +336,50 @@ mod tests {
         let eb = ObjectiveEvaluator::new(&b);
         let d = Deployment::identity(a.num_indexes());
         assert_eq!(ea.evaluate_area(&d), eb.evaluate_area(&d));
+    }
+
+    #[test]
+    fn block_structured_zero_coupling_keeps_blocks_disjoint() {
+        let cfg = BlockStructuredConfig::blocks(4, 8, 0, 7);
+        let inst = generate_block_structured(cfg);
+        assert_eq!(inst.num_indexes(), 32);
+        let block_of = |i: idd_core::IndexId| i.raw() / cfg.block.num_indexes;
+        for p in inst.plan_ids() {
+            let plan = inst.plan(p);
+            let b0 = block_of(plan.indexes[0]);
+            assert!(
+                plan.indexes.iter().all(|&i| block_of(i) == b0),
+                "plan {p:?} crosses block boundaries in a zero-coupling instance"
+            );
+        }
+        for bi in inst.build_interactions() {
+            assert_eq!(block_of(bi.target), block_of(bi.helper));
+        }
+
+        // Determinism.
+        let again = generate_block_structured(cfg);
+        let d = Deployment::identity(inst.num_indexes());
+        assert_eq!(
+            ObjectiveEvaluator::new(&inst).evaluate_area(&d),
+            ObjectiveEvaluator::new(&again).evaluate_area(&d)
+        );
+    }
+
+    #[test]
+    fn coupling_queries_add_cross_block_plans() {
+        let cfg = BlockStructuredConfig::blocks(3, 6, 5, 9);
+        let inst = generate_block_structured(cfg);
+        let block_of = |i: idd_core::IndexId| i.raw() / cfg.block.num_indexes;
+        let crossing = inst
+            .plan_ids()
+            .filter(|&p| {
+                let plan = inst.plan(p);
+                plan.indexes
+                    .iter()
+                    .any(|&i| block_of(i) != block_of(plan.indexes[0]))
+            })
+            .count();
+        assert!(crossing > 0, "coupling layer must span blocks");
     }
 
     #[test]
